@@ -1,0 +1,85 @@
+"""repro — learning graphical models from a distributed stream.
+
+A from-scratch reproduction of Zhang, Tirthapura & Cormode, *Learning
+Graphical Models from a Distributed Stream* (ICDE 2018): communication-
+efficient continuous maintenance of Bayesian-network parameters over a
+stream horizontally partitioned across ``k`` sites.
+
+Quickstart
+----------
+>>> from repro import alarm, ForwardSampler, make_estimator, UniformPartitioner
+>>> net = alarm()
+>>> estimator = make_estimator(net, "nonuniform", eps=0.1, n_sites=10, seed=0)
+>>> sampler = ForwardSampler(net, seed=1)
+>>> partitioner = UniformPartitioner(10, seed=2)
+>>> data = sampler.sample(10_000)
+>>> estimator.update_batch(data, partitioner.assign(10_000))
+>>> probability = estimator.query(data[0])
+"""
+
+from repro.bn import (
+    BayesianNetwork,
+    ForwardSampler,
+    TabularCPD,
+    Variable,
+    VariableElimination,
+    alarm,
+    hepar2_like,
+    link_family,
+    link_like,
+    munin_like,
+    network_by_name,
+    new_alarm,
+)
+from repro.core import (
+    ALGORITHMS,
+    BayesianClassifier,
+    StreamingMLEEstimator,
+    make_estimator,
+)
+from repro.counters import (
+    DeterministicCounterBank,
+    ExactCounterBank,
+    HYZCounterBank,
+)
+from repro.errors import ReproError
+from repro.graph import DAG
+from repro.monitoring import (
+    ClusterCostModel,
+    MessageLog,
+    RoundRobinPartitioner,
+    UniformPartitioner,
+    ZipfPartitioner,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "DAG",
+    "Variable",
+    "TabularCPD",
+    "BayesianNetwork",
+    "ForwardSampler",
+    "VariableElimination",
+    "alarm",
+    "new_alarm",
+    "hepar2_like",
+    "link_like",
+    "link_family",
+    "munin_like",
+    "network_by_name",
+    "ALGORITHMS",
+    "StreamingMLEEstimator",
+    "make_estimator",
+    "BayesianClassifier",
+    "ExactCounterBank",
+    "HYZCounterBank",
+    "DeterministicCounterBank",
+    "MessageLog",
+    "UniformPartitioner",
+    "RoundRobinPartitioner",
+    "ZipfPartitioner",
+    "ClusterCostModel",
+]

@@ -1,0 +1,36 @@
+"""Categorical Bayesian networks: model, sampling, inference, repository."""
+
+from repro.bn.cpd import TabularCPD, random_cpd
+from repro.bn.inference import VariableElimination
+from repro.bn.network import BayesianNetwork
+from repro.bn.repository import (
+    alarm,
+    hepar2_like,
+    link_family,
+    link_like,
+    munin_like,
+    network_by_name,
+    new_alarm,
+)
+from repro.bn.sampling import ForwardSampler
+from repro.bn.structure import bic_score, chow_liu_tree, hill_climb_structure
+from repro.bn.variable import Variable
+
+__all__ = [
+    "Variable",
+    "TabularCPD",
+    "random_cpd",
+    "BayesianNetwork",
+    "ForwardSampler",
+    "VariableElimination",
+    "chow_liu_tree",
+    "hill_climb_structure",
+    "bic_score",
+    "alarm",
+    "new_alarm",
+    "hepar2_like",
+    "link_like",
+    "link_family",
+    "munin_like",
+    "network_by_name",
+]

@@ -1,0 +1,82 @@
+"""JSON-dict serialization for Bayesian networks.
+
+Networks round-trip through plain dictionaries (and therefore JSON files),
+which is how example scripts persist learned models.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.bn.cpd import TabularCPD
+from repro.bn.network import BayesianNetwork
+from repro.bn.variable import Variable
+from repro.errors import ModelError
+from repro.graph.dag import DAG
+
+FORMAT_VERSION = 1
+
+
+def network_to_dict(network: BayesianNetwork) -> dict:
+    """Serialize a network to a JSON-compatible dictionary."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": network.name,
+        "variables": [
+            {
+                "name": v.name,
+                "cardinality": v.cardinality,
+                "states": list(v.states),
+            }
+            for v in network.variables()
+        ],
+        "parents": {n: list(network.dag.parents(n)) for n in network.node_names},
+        "cpds": {
+            n: network.cpd(n).values.tolist() for n in network.node_names
+        },
+    }
+
+
+def network_from_dict(payload: dict) -> BayesianNetwork:
+    """Rebuild a network serialized by :func:`network_to_dict`."""
+    try:
+        version = payload["format_version"]
+        if version != FORMAT_VERSION:
+            raise ModelError(f"unsupported format version {version!r}")
+        variables = [
+            Variable(v["name"], int(v["cardinality"]), tuple(v.get("states", ())))
+            for v in payload["variables"]
+        ]
+        dag = DAG(payload["parents"])
+        card = {v.name: v.cardinality for v in variables}
+        cpds = []
+        for name, values in payload["cpds"].items():
+            parents = dag.parents(name)
+            cpds.append(
+                TabularCPD(
+                    name,
+                    card[name],
+                    parents,
+                    [card[p] for p in parents],
+                    np.asarray(values, dtype=np.float64),
+                )
+            )
+    except KeyError as exc:
+        raise ModelError(f"serialized network missing field {exc}") from exc
+    return BayesianNetwork(dag, variables, cpds, name=payload.get("name", "network"))
+
+
+def save_network(network: BayesianNetwork, path: "str | Path") -> None:
+    """Write a network to a JSON file."""
+    payload = network_to_dict(network)
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_network(path: "str | Path") -> BayesianNetwork:
+    """Read a network from a JSON file written by :func:`save_network`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return network_from_dict(payload)

@@ -1,0 +1,104 @@
+"""Vectorized forward (ancestral) sampling from a Bayesian network.
+
+The paper generates training data by ordering the nodes topologically and
+assigning each variable from its CPD given already-sampled parents
+(Sec. VI-A, "Training Data").  The sampler below does exactly that, one
+variable at a time but vectorized over instances, so streams of millions of
+rows are practical in pure numpy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Mapping
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.errors import StreamError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+
+class ForwardSampler:
+    """Draws i.i.d. instances from a network's joint distribution.
+
+    Parameters
+    ----------
+    network:
+        The ground-truth network.
+    seed:
+        Seed or generator; a fixed seed gives a reproducible stream.
+    """
+
+    def __init__(self, network: BayesianNetwork, *, seed=None) -> None:
+        self.network = network
+        self._rng = as_generator(seed)
+        # Precompute per-variable sampling state in topological order.
+        self._plan = []
+        for idx, name in enumerate(network.node_names):
+            cpd = network.cpd(name)
+            parent_positions = np.array(
+                [network.variable_index(p) for p in cpd.parent_names],
+                dtype=np.int64,
+            )
+            self._plan.append((idx, cpd, parent_positions, cpd.cdf()))
+
+    def sample(self, m: int) -> np.ndarray:
+        """Draw ``m`` instances; returns ``(m, n)`` int64 state indices.
+
+        Columns follow the network's topological variable order
+        (:attr:`BayesianNetwork.node_names`).
+        """
+        m = check_positive_int(m, "m")
+        n = self.network.n_variables
+        out = np.empty((m, n), dtype=np.int64)
+        for idx, cpd, parent_positions, cdf in self._plan:
+            if parent_positions.size:
+                col_index = cpd.parent_index_array(out[:, parent_positions])
+            else:
+                col_index = np.zeros(m, dtype=np.int64)
+            u = self._rng.random(m)
+            # cdf has shape (J, K); gather each row's column then invert the
+            # CDF with a comparison count (J is small, so this beats
+            # searchsorted per row).
+            row_cdf = cdf[:, col_index]  # (J, m)
+            out[:, idx] = (u[None, :] > row_cdf).sum(axis=0)
+        return out
+
+    def sample_stream(self, m: int, *, chunk: int = 20_000) -> Iterator[np.ndarray]:
+        """Yield ``m`` instances in chunks of at most ``chunk`` rows.
+
+        Useful for long streams that should not be materialized at once.
+        """
+        m = check_positive_int(m, "m")
+        chunk = check_positive_int(chunk, "chunk")
+        remaining = m
+        while remaining > 0:
+            size = min(chunk, remaining)
+            yield self.sample(size)
+            remaining -= size
+
+    def sample_event(
+        self, nodes: list[str]
+    ) -> Mapping[str, int]:
+        """Sample a partial assignment over an ancestrally closed node set.
+
+        Only the closure of ``nodes`` is sampled (in topological order), so
+        events over small subsets are cheap even in huge networks.
+
+        Raises
+        ------
+        StreamError
+            If ``nodes`` is empty.
+        """
+        if not nodes:
+            raise StreamError("sample_event requires at least one node")
+        closure = self.network.dag.ancestral_closure(nodes)
+        ordered = [n for n in self.network.node_names if n in closure]
+        values: dict[str, int] = {}
+        for name in ordered:
+            cpd = self.network.cpd(name)
+            parent_states = [values[p] for p in cpd.parent_names]
+            column = cpd.values[:, cpd.parent_index(parent_states)]
+            values[name] = int(self._rng.choice(cpd.cardinality, p=column))
+        return values

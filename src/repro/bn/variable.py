@@ -1,0 +1,62 @@
+"""Categorical random variables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A categorical random variable.
+
+    Parameters
+    ----------
+    name:
+        Unique variable name within its network.
+    cardinality:
+        Number of states (``J_i`` in the paper), at least 1.
+    states:
+        Optional state labels; defaults to ``s0..s{J-1}``.
+    """
+
+    name: str
+    cardinality: int
+    states: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.cardinality, "cardinality")
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+        if self.states:
+            if len(self.states) != self.cardinality:
+                raise ValueError(
+                    f"variable {self.name!r}: {len(self.states)} state labels "
+                    f"for cardinality {self.cardinality}"
+                )
+            if len(set(self.states)) != len(self.states):
+                raise ValueError(f"variable {self.name!r}: duplicate state labels")
+        else:
+            object.__setattr__(
+                self,
+                "states",
+                tuple(f"s{i}" for i in range(self.cardinality)),
+            )
+
+    def state_index(self, state: "str | int") -> int:
+        """Resolve a state label or integer index to a validated index."""
+        if isinstance(state, str):
+            try:
+                return self.states.index(state)
+            except ValueError:
+                raise ValueError(
+                    f"variable {self.name!r} has no state {state!r}"
+                ) from None
+        index = int(state)
+        if not 0 <= index < self.cardinality:
+            raise ValueError(
+                f"state index {index} out of range for variable {self.name!r} "
+                f"with cardinality {self.cardinality}"
+            )
+        return index

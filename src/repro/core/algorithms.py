@@ -1,0 +1,143 @@
+"""Factory wiring networks, allocations, and counter banks into estimators.
+
+The four algorithms of the paper's evaluation:
+
+- ``exact`` (EXACTMLE) — exact counters, one message per counter update.
+- ``baseline`` — approximate counters, ``eps/(3n)`` budget split.
+- ``uniform`` — approximate counters, ``eps/(16 sqrt(n))`` split.
+- ``nonuniform`` — approximate counters, Lagrange-optimal split.
+
+plus ``naive-bayes`` (the Sec. V specialization) and a ``deterministic``
+counter backend for ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.core.allocation import (
+    Allocation,
+    baseline_allocation,
+    naive_bayes_allocation,
+    nonuniform_allocation,
+    uniform_allocation,
+)
+from repro.core.estimator import StreamingMLEEstimator
+from repro.counters.deterministic import DeterministicCounterBank
+from repro.counters.exact import ExactCounterBank
+from repro.counters.hyz import HYZCounterBank
+from repro.errors import AllocationError
+from repro.monitoring.channel import MessageLog
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+#: Algorithm names in the order the paper's plots use.
+ALGORITHMS = ("exact", "baseline", "uniform", "nonuniform")
+
+_ALLOCATORS = {
+    "baseline": baseline_allocation,
+    "uniform": uniform_allocation,
+    "nonuniform": nonuniform_allocation,
+    "naive-bayes": naive_bayes_allocation,
+}
+
+
+def expand_allocation(
+    network: BayesianNetwork, allocation: Allocation
+) -> np.ndarray:
+    """Per-counter eps array matching the estimator's bank layout.
+
+    The layout places all joint-counter blocks first (variable by variable,
+    ``J_i * K_i`` counters each), then all parent-counter blocks
+    (``K_i`` each) — the same order :class:`StreamingMLEEstimator` uses.
+    """
+    if allocation.n_variables != network.n_variables:
+        raise AllocationError(
+            f"allocation covers {allocation.n_variables} variables, "
+            f"network has {network.n_variables}"
+        )
+    joint_parts = []
+    parent_parts = []
+    for idx, node in enumerate(network.node_names):
+        cpd = network.cpd(node)
+        joint_parts.append(
+            np.full(
+                cpd.cardinality * cpd.parent_configurations,
+                allocation.joint_eps[idx],
+            )
+        )
+        parent_parts.append(
+            np.full(cpd.parent_configurations, allocation.parent_eps[idx])
+        )
+    return np.concatenate(joint_parts + parent_parts)
+
+
+def make_estimator(
+    network: BayesianNetwork,
+    algorithm: str,
+    *,
+    eps: float = 0.1,
+    n_sites: int = 30,
+    seed=None,
+    message_log: MessageLog | None = None,
+    counter_backend: str = "hyz",
+) -> StreamingMLEEstimator:
+    """Build a ready-to-run streaming estimator.
+
+    Parameters
+    ----------
+    network:
+        Structure and domains (CPD values are ignored during learning).
+    algorithm:
+        ``"exact"``, ``"baseline"``, ``"uniform"``, ``"nonuniform"``, or
+        ``"naive-bayes"``.
+    eps:
+        The overall approximation factor of Definition 2 (unused by
+        ``"exact"``).
+    n_sites:
+        Number of distributed sites ``k``.
+    seed:
+        Seed or generator for the randomized counters.
+    message_log:
+        Optional shared message tally (a fresh one is created per estimator
+        otherwise).
+    counter_backend:
+        ``"hyz"`` (the paper's randomized counter) or ``"deterministic"``
+        ((1+eps)-threshold counters, for ablations).  Ignored for
+        ``"exact"``.
+    """
+    algorithm = algorithm.strip().lower()
+    n_sites = check_positive_int(n_sites, "n_sites")
+    log = message_log or MessageLog(n_sites)
+
+    if algorithm == "exact":
+        def bank_factory(n_counters: int):
+            return ExactCounterBank(n_counters, n_sites, message_log=log)
+        return StreamingMLEEstimator(network, bank_factory, name="exact")
+
+    if algorithm not in _ALLOCATORS:
+        raise AllocationError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{('exact',) + tuple(_ALLOCATORS)}"
+        )
+    allocation = _ALLOCATORS[algorithm](network, eps)
+    eps_per_counter = expand_allocation(network, allocation)
+    rng = as_generator(seed)
+
+    if counter_backend == "hyz":
+        def bank_factory(n_counters: int):
+            return HYZCounterBank(
+                n_counters, n_sites, eps_per_counter, seed=rng, message_log=log
+            )
+    elif counter_backend == "deterministic":
+        def bank_factory(n_counters: int):
+            return DeterministicCounterBank(
+                n_counters, n_sites, eps_per_counter, message_log=log
+            )
+    else:
+        raise AllocationError(
+            f"unknown counter backend {counter_backend!r}; "
+            "expected 'hyz' or 'deterministic'"
+        )
+    return StreamingMLEEstimator(network, bank_factory, name=algorithm)

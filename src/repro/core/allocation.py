@@ -1,0 +1,178 @@
+"""Error-budget allocation across the per-CPD distributed counters.
+
+For each variable ``X_i`` the estimator maintains joint counters
+``A_i(x_i, xpar_i)`` (one per CPD table entry, ``J_i * K_i`` of them) and
+parent counters ``A_i(xpar_i)`` (``K_i`` of them).  An *allocation* assigns
+every counter its error parameter — the paper's ``epsfnA``/``epsfnB`` of
+Algorithm 1:
+
+- **BASELINE** (Sec. IV-C): ``eps / (3n)`` everywhere; worst-case union
+  bound, no statistical pooling.
+- **UNIFORM** (Sec. IV-D): ``eps / (16 sqrt(n))`` everywhere; Chebyshev on
+  the product of unbiased counters brings the per-counter budget from
+  ``eps/n`` to ``eps/sqrt(n)``.
+- **NONUNIFORM** (Sec. IV-E): minimizes total communication
+  ``sum_i J_i K_i / nu_i`` subject to the variance constraint
+  ``sum_i nu_i^2 = eps^2 / 256`` — the Lagrange solution (Eq. 7-8):
+
+  ``nu_i = (J_i K_i)^{1/3} eps / (16 alpha)``,
+  ``alpha = (sum_i (J_i K_i)^{2/3})^{1/2}``, and analogously
+  ``mu_i = K_i^{1/3} eps / (16 beta)``, ``beta = (sum_i K_i^{2/3})^{1/2}``.
+
+- **Naive Bayes** (Sec. V, Eq. 9): the NONUNIFORM solution specialized to
+  the two-layer tree where ``K_i = J_1`` for every feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.errors import AllocationError
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Per-variable error parameters for both counter families.
+
+    Attributes
+    ----------
+    joint_eps:
+        ``epsfnA(i)`` — error parameter for the ``A_i(x_i, xpar_i)``
+        counters of each variable (topological order).
+    parent_eps:
+        ``epsfnB(i)`` — error parameter for the ``A_i(xpar_i)`` counters.
+    name:
+        Which strategy produced this allocation.
+    """
+
+    joint_eps: np.ndarray
+    parent_eps: np.ndarray
+    name: str
+
+    def __post_init__(self) -> None:
+        je = np.asarray(self.joint_eps, dtype=np.float64)
+        pe = np.asarray(self.parent_eps, dtype=np.float64)
+        if je.ndim != 1 or pe.shape != je.shape:
+            raise AllocationError("joint_eps and parent_eps must align 1-D")
+        if np.any(je <= 0) or np.any(pe <= 0):
+            raise AllocationError("error parameters must be positive")
+        if np.any(je >= 1) or np.any(pe >= 1):
+            raise AllocationError("error parameters must be < 1")
+        object.__setattr__(self, "joint_eps", je)
+        object.__setattr__(self, "parent_eps", pe)
+
+    @property
+    def n_variables(self) -> int:
+        return self.joint_eps.shape[0]
+
+    def variance_budget(self) -> tuple[float, float]:
+        """``(sum nu_i^2, sum mu_i^2)`` — the Eq. 4 constraint values."""
+        return (
+            float(np.sum(self.joint_eps**2)),
+            float(np.sum(self.parent_eps**2)),
+        )
+
+
+def _network_sizes(network: BayesianNetwork) -> tuple[np.ndarray, np.ndarray]:
+    return (
+        network.cardinalities().astype(np.float64),
+        network.parent_configuration_counts().astype(np.float64),
+    )
+
+
+def baseline_allocation(network: BayesianNetwork, eps: float) -> Allocation:
+    """BASELINE: every counter gets ``eps / (3n)`` (Sec. IV-C).
+
+    With each counter within a ``(1 +- eps/3n)`` factor, the product of
+    ``2n`` factors stays within ``e^{+-eps}`` (Fact 1) even when every error
+    falls the worst way.
+    """
+    eps = check_fraction(eps, "eps")
+    n = network.n_variables
+    value = eps / (3.0 * n)
+    ones = np.full(n, value)
+    return Allocation(ones, ones.copy(), "baseline")
+
+
+def uniform_allocation(network: BayesianNetwork, eps: float) -> Allocation:
+    """UNIFORM: every counter gets ``eps / (16 sqrt(n))`` (Sec. IV-D)."""
+    eps = check_fraction(eps, "eps")
+    n = network.n_variables
+    value = eps / (16.0 * np.sqrt(n))
+    ones = np.full(n, value)
+    return Allocation(ones, ones.copy(), "uniform")
+
+
+def nonuniform_allocation(network: BayesianNetwork, eps: float) -> Allocation:
+    """NONUNIFORM: the communication-optimal Lagrange solution (Eq. 7-8)."""
+    eps = check_fraction(eps, "eps")
+    j, k = _network_sizes(network)
+    alpha = np.sqrt(np.sum((j * k) ** (2.0 / 3.0)))
+    beta = np.sqrt(np.sum(k ** (2.0 / 3.0)))
+    nu = (j * k) ** (1.0 / 3.0) * eps / (16.0 * alpha)
+    mu = k ** (1.0 / 3.0) * eps / (16.0 * beta)
+    return Allocation(nu, mu, "nonuniform")
+
+
+def naive_bayes_allocation(
+    network: BayesianNetwork, eps: float, *, class_variable: str | None = None
+) -> Allocation:
+    """The Naive Bayes specialization (Sec. V, Eq. 9).
+
+    For root class variable ``X_1`` and features ``X_2..X_n`` (each with
+    ``par(X_i) = {X_1}``), the optimal joint-counter parameters are
+    ``nu_i = J_i^{1/3} eps / (16 (sum_{i>=2} J_i^{2/3})^{1/2})`` and the
+    parent counters use ``mu_i = eps / (16 sqrt(n))``.
+
+    Raises
+    ------
+    AllocationError
+        If the network is not a two-layer Naive Bayes structure.
+    """
+    eps = check_fraction(eps, "eps")
+    roots = network.dag.roots()
+    if class_variable is None:
+        if len(roots) != 1:
+            raise AllocationError(
+                f"cannot infer the class variable: roots are {roots}"
+            )
+        class_variable = roots[0]
+    if class_variable not in network.dag.nodes:
+        raise AllocationError(f"unknown class variable {class_variable!r}")
+    for node in network.node_names:
+        parents = network.dag.parents(node)
+        if node == class_variable:
+            if parents:
+                raise AllocationError("class variable must be a root")
+        elif parents != (class_variable,):
+            raise AllocationError(
+                f"{node!r} must have exactly the class variable as parent "
+                f"for a Naive Bayes model, has {parents}"
+            )
+    n = network.n_variables
+    cards = network.cardinalities().astype(np.float64)
+    class_idx = network.variable_index(class_variable)
+    feature_mask = np.ones(n, dtype=bool)
+    feature_mask[class_idx] = False
+    feature_norm = np.sqrt(np.sum(cards[feature_mask] ** (2.0 / 3.0)))
+    nu = np.empty(n)
+    nu[feature_mask] = (
+        cards[feature_mask] ** (1.0 / 3.0) * eps / (16.0 * feature_norm)
+    )
+    # The class variable's own CPD has K_1 = 1; give it the uniform share.
+    nu[class_idx] = eps / (16.0 * np.sqrt(n))
+    mu = np.full(n, eps / (16.0 * np.sqrt(n)))
+    return Allocation(nu, mu, "naive-bayes")
+
+
+#: Allocation strategies by paper name.
+ALLOCATIONS = {
+    "baseline": baseline_allocation,
+    "uniform": uniform_allocation,
+    "nonuniform": nonuniform_allocation,
+    "naive-bayes": naive_bayes_allocation,
+}

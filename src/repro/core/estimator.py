@@ -1,0 +1,346 @@
+"""The master streaming-MLE algorithm (Algorithms 1-3 of the paper).
+
+One :class:`StreamingMLEEstimator` owns a bank of distributed counters with
+two counters per CPD table entry family:
+
+- ``A_i(x_i, xpar_i)`` for every variable/parent-configuration pair —
+  laid out as a contiguous block of ``J_i * K_i`` counters per variable;
+- ``A_i(xpar_i)`` — a block of ``K_i`` counters per variable, maintained
+  *separately per variable* even when two variables share a parent set, so
+  the product terms in the analysis stay independent (Sec. IV-D).
+
+``update_batch`` implements Algorithm 2 vectorized over a batch of events:
+for each site, all ``2n`` counter increments per event are encoded as flat
+counter ids, aggregated with one ``bincount``, and handed to the bank.
+``query``/``query_event`` implement Algorithm 3.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.counters.base import CounterBank
+from repro.errors import QueryError, StreamError
+from repro.utils.validation import check_positive_int
+
+
+class _VariableLayout:
+    """Counter-id layout for one variable's two counter families."""
+
+    __slots__ = (
+        "index", "cardinality", "parent_positions", "parent_strides",
+        "k_configs", "joint_offset", "parent_offset",
+    )
+
+    def __init__(self, index, cardinality, parent_positions, parent_strides,
+                 k_configs, joint_offset, parent_offset) -> None:
+        self.index = index
+        self.cardinality = cardinality
+        self.parent_positions = parent_positions
+        self.parent_strides = parent_strides
+        self.k_configs = k_configs
+        self.joint_offset = joint_offset
+        self.parent_offset = parent_offset
+
+    def parent_state(self, row: np.ndarray) -> int:
+        if self.parent_positions.size == 0:
+            return 0
+        return int(row[self.parent_positions] @ self.parent_strides)
+
+    def parent_state_batch(self, data: np.ndarray) -> np.ndarray:
+        if self.parent_positions.size == 0:
+            return np.zeros(data.shape[0], dtype=np.int64)
+        return data[:, self.parent_positions] @ self.parent_strides
+
+
+class StreamingMLEEstimator:
+    """Continuously maintains an approximate MLE of a Bayesian network.
+
+    Parameters
+    ----------
+    network:
+        The (fixed, known) structure and domains; CPD *values* are ignored —
+        parameters are learned from the stream.
+    bank_factory:
+        Callable ``(n_counters) -> CounterBank`` building the counter bank;
+        the factory decides exactness/allocation (see
+        :mod:`repro.core.algorithms`).
+    name:
+        Display name of the algorithm this estimator realizes.
+    """
+
+    def __init__(
+        self,
+        network: BayesianNetwork,
+        bank_factory,
+        *,
+        name: str = "estimator",
+    ) -> None:
+        self.network = network
+        self.name = str(name)
+        self._layouts: list[_VariableLayout] = []
+        joint_cursor = 0
+        for idx, node in enumerate(network.node_names):
+            cpd = network.cpd(node)
+            positions = np.array(
+                [network.variable_index(p) for p in cpd.parent_names],
+                dtype=np.int64,
+            )
+            strides = np.asarray(cpd._strides, dtype=np.int64)
+            self._layouts.append(
+                _VariableLayout(
+                    index=idx,
+                    cardinality=cpd.cardinality,
+                    parent_positions=positions,
+                    parent_strides=strides,
+                    k_configs=cpd.parent_configurations,
+                    joint_offset=joint_cursor,
+                    parent_offset=-1,  # assigned below
+                )
+            )
+            joint_cursor += cpd.cardinality * cpd.parent_configurations
+        self.n_joint_counters = joint_cursor
+        parent_cursor = joint_cursor
+        for layout in self._layouts:
+            layout.parent_offset = parent_cursor
+            parent_cursor += layout.k_configs
+        self.n_counters = parent_cursor
+        self.bank: CounterBank = bank_factory(self.n_counters)
+        if self.bank.n_counters != self.n_counters:
+            raise StreamError(
+                f"bank has {self.bank.n_counters} counters, layout needs "
+                f"{self.n_counters}"
+            )
+        self.n_sites = self.bank.n_sites
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------
+    # Training (Algorithm 2)
+    # ------------------------------------------------------------------
+    def _encode_batch(self, data: np.ndarray) -> np.ndarray:
+        """Flat counter ids for all ``2n`` increments of each event.
+
+        Returns an array of shape ``(m, 2n)``.
+        """
+        m = data.shape[0]
+        n = len(self._layouts)
+        ids = np.empty((m, 2 * n), dtype=np.int64)
+        for layout in self._layouts:
+            pstate = layout.parent_state_batch(data)
+            ids[:, layout.index] = (
+                layout.joint_offset
+                + data[:, layout.index] * layout.k_configs
+                + pstate
+            )
+            ids[:, n + layout.index] = layout.parent_offset + pstate
+        return ids
+
+    def update_batch(self, data: np.ndarray, site_ids: np.ndarray) -> None:
+        """Feed a batch of events, each observed at its assigned site.
+
+        ``data`` is ``(m, n)`` state indices in topological variable order;
+        ``site_ids`` is ``(m,)``.
+        """
+        data = np.asarray(data, dtype=np.int64)
+        site_ids = np.asarray(site_ids, dtype=np.int64)
+        if data.ndim != 2 or data.shape[1] != len(self._layouts):
+            raise StreamError(
+                f"data must have shape (m, {len(self._layouts)}), "
+                f"got {data.shape}"
+            )
+        if site_ids.shape != (data.shape[0],):
+            raise StreamError("site_ids must have one entry per event")
+        if data.shape[0] == 0:
+            return
+        if site_ids.min() < 0 or site_ids.max() >= self.n_sites:
+            raise StreamError("site id out of range")
+        cards = self.network.cardinalities()
+        if data.min() < 0 or np.any(data >= cards[None, :]):
+            raise StreamError("event contains out-of-range state indices")
+
+        ids = self._encode_batch(data)
+        for site in range(self.n_sites):
+            mask = site_ids == site
+            if not mask.any():
+                continue
+            flat = ids[mask].ravel()
+            dense = np.bincount(flat, minlength=self.n_counters)
+            touched = np.nonzero(dense)[0]
+            self.bank.bulk_add_site(site, touched, dense[touched])
+        self.events_seen += data.shape[0]
+
+    def update(self, event: np.ndarray, site_id: int) -> None:
+        """Algorithm 2 for a single event."""
+        event = np.asarray(event, dtype=np.int64).reshape(1, -1)
+        self.update_batch(event, np.array([site_id]))
+
+    # ------------------------------------------------------------------
+    # Queries (Algorithm 3)
+    # ------------------------------------------------------------------
+    def _event_indices(self, assignment) -> np.ndarray:
+        return self.network._as_index_vector(assignment)
+
+    def log_query(self, assignment) -> float:
+        """Natural log of the estimated joint probability of a full event.
+
+        Returns ``-inf`` when any numerator counter is zero; raises
+        :class:`QueryError` when a denominator counter is zero while its
+        numerator is not (cannot happen under consistent updates).
+        """
+        vec = self._event_indices(assignment)
+        estimates = self.bank.estimates()
+        total = 0.0
+        for layout in self._layouts:
+            pstate = layout.parent_state(vec)
+            num = estimates[
+                layout.joint_offset + vec[layout.index] * layout.k_configs + pstate
+            ]
+            den = estimates[layout.parent_offset + pstate]
+            if num <= 0.0:
+                return -math.inf
+            if den <= 0.0:
+                raise QueryError(
+                    "parent counter is zero while joint counter is not; "
+                    "the model has seen no consistent data for this event"
+                )
+            total += math.log(num) - math.log(den)
+        return total
+
+    def query(self, assignment) -> float:
+        """Algorithm 3: estimated joint probability of a full assignment."""
+        value = self.log_query(assignment)
+        return math.exp(value) if value > -math.inf else 0.0
+
+    def log_query_event(self, event: Mapping[str, int]) -> float:
+        """Estimated log-probability of an ancestrally closed partial event."""
+        estimates = self.bank.estimates()
+        name_to_layout = {
+            self.network.node_names[l.index]: l for l in self._layouts
+        }
+        for name in event:
+            if name not in name_to_layout:
+                raise QueryError(f"unknown variable {name!r} in event")
+        total = 0.0
+        for name, state in event.items():
+            layout = name_to_layout[name]
+            cpd = self.network.cpd(name)
+            for parent in cpd.parent_names:
+                if parent not in event:
+                    raise QueryError(
+                        f"event is not ancestrally closed: {name!r} assigned "
+                        f"but parent {parent!r} is not"
+                    )
+            parent_vec = np.array(
+                [
+                    self.network.variable(p).state_index(event[p])
+                    for p in cpd.parent_names
+                ],
+                dtype=np.int64,
+            )
+            pstate = (
+                int(parent_vec @ layout.parent_strides)
+                if parent_vec.size
+                else 0
+            )
+            state_idx = self.network.variable(name).state_index(state)
+            num = estimates[
+                layout.joint_offset + state_idx * layout.k_configs + pstate
+            ]
+            den = estimates[layout.parent_offset + pstate]
+            if num <= 0.0:
+                return -math.inf
+            if den <= 0.0:
+                raise QueryError(
+                    f"no data observed for parent configuration of {name!r}"
+                )
+            total += math.log(num) - math.log(den)
+        return total
+
+    def query_event(self, event: Mapping[str, int]) -> float:
+        """Estimated probability of an ancestrally closed partial event."""
+        value = self.log_query_event(event)
+        return math.exp(value) if value > -math.inf else 0.0
+
+    def log_query_batch(self, data: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`log_query` over rows of full assignments."""
+        data = np.asarray(data, dtype=np.int64)
+        if data.ndim != 2 or data.shape[1] != len(self._layouts):
+            raise QueryError(
+                f"data must have shape (m, {len(self._layouts)}), "
+                f"got {data.shape}"
+            )
+        estimates = self.bank.estimates()
+        total = np.zeros(data.shape[0], dtype=np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            for layout in self._layouts:
+                pstate = layout.parent_state_batch(data)
+                num = estimates[
+                    layout.joint_offset
+                    + data[:, layout.index] * layout.k_configs
+                    + pstate
+                ]
+                den = estimates[layout.parent_offset + pstate]
+                term = np.where(
+                    (num > 0) & (den > 0), np.log(num) - np.log(den), -np.inf
+                )
+                total += term
+        return total
+
+    # ------------------------------------------------------------------
+    # Model export
+    # ------------------------------------------------------------------
+    def estimated_cpd_values(self, name: str) -> np.ndarray:
+        """The current estimated CPD table for one variable.
+
+        Shape ``(J_i, K_i)``; columns with no observed parent data fall back
+        to the uniform distribution.
+        """
+        layout = self._layouts[self.network.variable_index(name)]
+        estimates = self.bank.estimates()
+        j, k = layout.cardinality, layout.k_configs
+        joint = estimates[
+            layout.joint_offset : layout.joint_offset + j * k
+        ].reshape(j, k)
+        joint = np.clip(joint, 0.0, None)
+        col_sums = joint.sum(axis=0)
+        values = np.full((j, k), 1.0 / j)
+        seen = col_sums > 0
+        values[:, seen] = joint[:, seen] / col_sums[seen]
+        return values
+
+    def to_network(self, *, name: str | None = None) -> BayesianNetwork:
+        """Materialize the learned parameters as a standalone network."""
+        from repro.bn.cpd import TabularCPD
+
+        replacements = []
+        for node in self.network.node_names:
+            cpd = self.network.cpd(node)
+            replacements.append(
+                TabularCPD(
+                    node,
+                    cpd.cardinality,
+                    cpd.parent_names,
+                    cpd.parent_cards,
+                    self.estimated_cpd_values(node),
+                )
+            )
+        return self.network.with_replaced_cpds(
+            replacements, name=name if name is not None else f"{self.name}-learned"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        """Communication used so far (the paper's headline metric)."""
+        return self.bank.total_messages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamingMLEEstimator({self.name!r}, "
+            f"n_counters={self.n_counters}, events={self.events_seen}, "
+            f"messages={self.total_messages})"
+        )

@@ -1,0 +1,139 @@
+"""Common interface and bookkeeping for banks of distributed counters."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import CounterError
+from repro.monitoring.channel import MessageLog
+from repro.utils.validation import check_positive_int
+
+
+class CounterBank(abc.ABC):
+    """A bank of ``N`` distributed counters over ``k`` sites.
+
+    A *bank* rather than individual counter objects: the paper's estimators
+    need one counter per CPD table entry (hundreds of thousands for MUNIN),
+    so state lives in dense arrays indexed by counter id.
+
+    Parameters
+    ----------
+    n_counters:
+        Number of counters ``N``.
+    n_sites:
+        Number of sites ``k``.
+    message_log:
+        Where to tally communication; a fresh log is created if omitted.
+    """
+
+    def __init__(
+        self,
+        n_counters: int,
+        n_sites: int,
+        *,
+        message_log: MessageLog | None = None,
+    ) -> None:
+        self.n_counters = check_positive_int(n_counters, "n_counters")
+        self.n_sites = check_positive_int(n_sites, "n_sites")
+        self.message_log = message_log or MessageLog(n_sites)
+        if self.message_log.n_sites != self.n_sites:
+            raise CounterError(
+                f"message log has {self.message_log.n_sites} sites, "
+                f"bank has {self.n_sites}"
+            )
+        # Ground-truth per-site counts; the coordinator never reads these
+        # directly (only through the protocol), but tests and exact banks do.
+        self._local = np.zeros((self.n_counters, self.n_sites), dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    def _validate_bulk(self, counter_ids, site_ids, counts):
+        counter_ids = np.asarray(counter_ids, dtype=np.int64)
+        site_ids = np.asarray(site_ids, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if not (counter_ids.shape == site_ids.shape == counts.shape):
+            raise CounterError("counter_ids, site_ids, counts must align")
+        if counter_ids.ndim != 1:
+            raise CounterError("bulk_add expects 1-D arrays")
+        if counter_ids.size == 0:
+            return counter_ids, site_ids, counts
+        if counter_ids.min() < 0 or counter_ids.max() >= self.n_counters:
+            raise CounterError("counter id out of range")
+        if site_ids.min() < 0 or site_ids.max() >= self.n_sites:
+            raise CounterError("site id out of range")
+        if counts.min() < 0:
+            raise CounterError("counts must be >= 0")
+        return counter_ids, site_ids, counts
+
+    @abc.abstractmethod
+    def _apply_site(self, site: int, counter_ids: np.ndarray,
+                    counts: np.ndarray) -> None:
+        """Apply aggregated increments at one site.
+
+        ``counter_ids`` are unique, sorted, in-range; ``counts`` are the
+        positive increment totals.  The simulated protocol decides which
+        messages this traffic triggers.
+        """
+
+    @abc.abstractmethod
+    def estimates(self) -> np.ndarray:
+        """The coordinator's current estimate of every counter (float64)."""
+
+    # ------------------------------------------------------------------
+    def bulk_add(self, counter_ids, site_ids, counts) -> None:
+        """Apply ``counts[j]`` increments of counter ``counter_ids[j]``
+        observed at site ``site_ids[j]``.  Pairs may repeat."""
+        counter_ids, site_ids, counts = self._validate_bulk(
+            counter_ids, site_ids, counts
+        )
+        if counter_ids.size == 0:
+            return
+        for site in range(self.n_sites):
+            mask = site_ids == site
+            if not mask.any():
+                continue
+            dense = np.bincount(
+                counter_ids[mask],
+                weights=counts[mask].astype(np.float64),
+                minlength=self.n_counters,
+            ).astype(np.int64)
+            touched = np.nonzero(dense)[0]
+            if touched.size:
+                self._apply_site(site, touched, dense[touched])
+
+    def bulk_add_site(self, site: int, counter_ids, counts) -> None:
+        """Apply pre-aggregated increments observed at one site.
+
+        ``counter_ids`` must be unique; this is the fast path used by the
+        streaming estimator, which already aggregates each batch per site.
+        """
+        counter_ids = np.asarray(counter_ids, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if counter_ids.shape != counts.shape or counter_ids.ndim != 1:
+            raise CounterError("counter_ids and counts must be aligned 1-D")
+        if not 0 <= site < self.n_sites:
+            raise CounterError(f"site {site} out of range")
+        if counter_ids.size == 0:
+            return
+        if counter_ids.min() < 0 or counter_ids.max() >= self.n_counters:
+            raise CounterError("counter id out of range")
+        if counts.min() <= 0:
+            raise CounterError("bulk_add_site counts must be > 0")
+        if np.unique(counter_ids).size != counter_ids.size:
+            raise CounterError("bulk_add_site counter_ids must be unique")
+        self._apply_site(int(site), counter_ids, counts)
+
+    def add(self, counter_id: int, site_id: int, count: int = 1) -> None:
+        """Convenience scalar form of :meth:`bulk_add`."""
+        self.bulk_add(
+            np.array([counter_id]), np.array([site_id]), np.array([count])
+        )
+
+    def true_totals(self) -> np.ndarray:
+        """Ground-truth counter values (test/diagnostic use only)."""
+        return self._local.sum(axis=1)
+
+    @property
+    def total_messages(self) -> int:
+        return self.message_log.total

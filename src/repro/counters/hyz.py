@@ -1,0 +1,283 @@
+"""Randomized distributed counters (Huang, Yi & Zhang, PODS 2012).
+
+This is the DISTCOUNTER of Lemma 4: for error parameter ``eps`` it keeps an
+unbiased estimate ``A`` of the true count ``C`` with ``Var[A] <= (eps*C)^2``
+using ``O(sqrt(k)/eps * log T)`` messages.
+
+Protocol (round-based form)
+---------------------------
+* A round starts with a **sync**: the coordinator broadcasts the new round
+  to all sites and every site reports its exact local count
+  (``2k`` messages).  ``base`` is then the exact total and the per-increment
+  report probability becomes ``p = min(1, sqrt(k) / (eps * base))``.
+* Within a round, a site that receives an increment sends its current local
+  count to the coordinator with probability ``p`` (while ``p == 1`` the
+  counter is exact and every increment is a message).
+* The coordinator's estimate is ``sum_i r_i + a * (1 - p) / p`` where
+  ``r_i`` is site ``i``'s last report and ``a`` is the number of sites that
+  have reported *since the round's sync*.  This is exactly unbiased: with
+  ``t_i`` increments at site ``i`` since the sync and ``P0 = (1-p)^{t_i}``,
+  the expected unreported gap is ``(1-p)(1-P0)/p``, while the correction is
+  applied with probability ``1 - P0`` — the two cancel for every ``t_i``,
+  so no steady-state assumption is needed.
+* When the estimate reaches ``2 * base`` the coordinator starts a new round.
+
+Within a round, per site, ``Var[c_i - r_i] <= (1-p)/p^2 < 1/p^2``; summing
+over ``k`` independent sites and substituting ``p`` gives
+``Var <= k/p^2 = (eps * base)^2 <= (eps * C)^2``.  Each round sends an
+expected ``p * (increments in round) ~ sqrt(k)/eps`` reports plus ``2k``
+sync messages, and the doubling condition bounds the number of rounds by
+``O(log T)``.
+
+Simulation (skip-ahead)
+-----------------------
+Feeding streams increment-by-increment is infeasible in Python, so
+``bulk_add`` advances each (counter, site) pair over ``b`` increments by
+sampling the geometric inter-report gaps directly:
+
+* With probability ``(1-p)^b`` the span contains no report — one vectorized
+  Bernoulli draw per touched pair covers this dominant case.
+* Otherwise the first gap is drawn from a geometric distribution truncated
+  at ``b`` (inverse-CDF, conditioned on at least one success), the report is
+  delivered (possibly triggering a round change, which alters ``p`` for the
+  *remaining* increments), and plain geometric draws continue the span.
+
+Rounds only change when a report arrives, so skipping report-free spans is
+exactly distribution-preserving.  ``ReferenceHYZCounter`` replays the same
+protocol one increment at a time; the test suite checks the two agree
+statistically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.counters.base import CounterBank
+from repro.errors import CounterError
+from repro.monitoring.channel import MessageKind
+from repro.utils.rng import as_generator
+
+
+class HYZCounterBank(CounterBank):
+    """A bank of independent randomized distributed counters.
+
+    Parameters
+    ----------
+    n_counters, n_sites:
+        Bank dimensions.
+    eps:
+        Per-counter error parameter: scalar or array of shape
+        ``(n_counters,)`` with entries in (0, 1).
+    seed:
+        Seed or generator for the protocol's coin flips.
+    message_log:
+        Shared message tally.
+    charge_sync:
+        If False, round syncs are not charged to the message log (used in
+        ablations isolating report traffic).  Default True.
+    """
+
+    def __init__(
+        self,
+        n_counters: int,
+        n_sites: int,
+        eps,
+        *,
+        seed=None,
+        message_log=None,
+        charge_sync: bool = True,
+    ) -> None:
+        super().__init__(n_counters, n_sites, message_log=message_log)
+        eps_arr = np.broadcast_to(
+            np.asarray(eps, dtype=np.float64), (self.n_counters,)
+        ).copy()
+        if np.any(eps_arr <= 0) or np.any(eps_arr >= 1):
+            raise CounterError("eps must lie in (0, 1) for every counter")
+        self.eps = eps_arr
+        self._rng = as_generator(seed)
+        self.charge_sync = bool(charge_sync)
+        k = self.n_sites
+        self._sqrt_k = math.sqrt(k)
+
+        # Coordinator-side state.  `_round_reported` marks sites that have
+        # reported since the current round's sync: only those sites' counts
+        # carry the (1-p)/p geometric-gap correction (silent sites stand at
+        # their exact sync value), which makes the estimator exactly
+        # unbiased — see the estimator derivation in the module docstring.
+        self._reported = np.zeros((self.n_counters, k), dtype=np.int64)
+        self._reported_sum = np.zeros(self.n_counters, dtype=np.int64)
+        self._round_reported = np.zeros((self.n_counters, k), dtype=bool)
+        self._round_reported_count = np.zeros(self.n_counters, dtype=np.int64)
+        self._round_base = np.ones(self.n_counters, dtype=np.float64)
+        self._p = np.minimum(1.0, self._sqrt_k / (self.eps * self._round_base))
+        self._rounds_started = np.zeros(self.n_counters, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Coordinator-side helpers
+    # ------------------------------------------------------------------
+    def _estimate_one(self, c: int) -> float:
+        p = self._p[c]
+        if p >= 1.0:
+            return float(self._reported_sum[c])
+        return (
+            float(self._reported_sum[c])
+            + self._round_reported_count[c] * (1.0 - p) / p
+        )
+
+    def estimates(self) -> np.ndarray:
+        correction = np.where(
+            self._p >= 1.0,
+            0.0,
+            self._round_reported_count * (1.0 - self._p) / self._p,
+        )
+        return self._reported_sum.astype(np.float64) + correction
+
+    def _advance_round(self, c: int) -> None:
+        """Start a new round for counter ``c``: sync then recompute ``p``."""
+        # Sync: every site reports its exact count, so every site starts the
+        # round with zero gap and no correction.
+        self._reported[c, :] = self._local[c, :]
+        self._reported_sum[c] = int(self._local[c, :].sum())
+        self._round_reported[c, :] = False
+        self._round_reported_count[c] = 0
+        self._round_base[c] = max(float(self._reported_sum[c]), 1.0)
+        old_p = self._p[c]
+        self._p[c] = min(1.0, self._sqrt_k / (self.eps[c] * self._round_base[c]))
+        self._rounds_started[c] += 1
+        if self.charge_sync:
+            # Coordinator tells every site the new round/probability, and
+            # (except on the exact->exact transition, where it already has
+            # the exact counts) every site answers with its local count.
+            self.message_log.record_broadcast_all()
+            if old_p < 1.0:
+                for site in range(self.n_sites):
+                    self.message_log.record(MessageKind.SYNC, site)
+
+    def _maybe_advance(self, c: int) -> None:
+        # A single advance suffices: after the sync the estimate equals the
+        # new base exactly, so the doubling condition cannot re-trigger.
+        if self._estimate_one(c) >= 2.0 * self._round_base[c]:
+            self._advance_round(c)
+
+    # ------------------------------------------------------------------
+    # Site-side simulation
+    # ------------------------------------------------------------------
+    def _deliver_report(self, c: int, site: int) -> None:
+        """Site ``site`` sends its current local count for counter ``c``."""
+        delta = int(self._local[c, site] - self._reported[c, site])
+        self._reported[c, site] = self._local[c, site]
+        self._reported_sum[c] += delta
+        if not self._round_reported[c, site]:
+            self._round_reported[c, site] = True
+            self._round_reported_count[c] += 1
+        self.message_log.record(MessageKind.REPORT, site)
+        self._maybe_advance(c)
+
+    def _truncated_geometric(self, p: float, limit: int) -> int:
+        """First-success position conditioned on success within ``limit``.
+
+        Inverse CDF of ``Geometric(p)`` given the value is ``<= limit``.
+        """
+        u = self._rng.random()
+        tail = (1.0 - p) ** limit
+        # CDF(g) = 1 - (1-p)^g; conditioned CDF hits u at:
+        g = int(math.ceil(math.log1p(-u * (1.0 - tail)) / math.log1p(-p)))
+        return min(max(g, 1), limit)
+
+    def _run_sampling_span(self, c: int, site: int, b: int, *,
+                           first_report_known: bool) -> None:
+        """Advance counter ``c`` at ``site`` over ``b`` increments, p < 1.
+
+        ``first_report_known`` marks that the caller already determined (via
+        the vectorized Bernoulli pre-filter) that at least one report occurs
+        in the span *at the entry probability*; the first gap is then drawn
+        from the truncated geometric.
+        """
+        remaining = b
+        pending_condition = first_report_known
+        while remaining > 0:
+            p = float(self._p[c])
+            if p >= 1.0:
+                # A mid-span round change pushed the counter back to exact
+                # mode; cannot happen (base only grows), but guard anyway.
+                self._exact_span(c, site, remaining)
+                return
+            if pending_condition:
+                gap = self._truncated_geometric(p, remaining)
+                pending_condition = False
+            else:
+                gap = int(self._rng.geometric(p))
+            if gap > remaining:
+                self._local[c, site] += remaining
+                return
+            self._local[c, site] += gap
+            remaining -= gap
+            self._deliver_report(c, site)
+
+    def _exact_span(self, c: int, site: int, b: int) -> None:
+        """Advance an exact-mode (p == 1) counter over ``b`` increments.
+
+        Every increment is a message and the coordinator tracks the count
+        exactly; round changes mid-span switch the counter into sampling
+        mode for the rest of the span.
+        """
+        remaining = b
+        while remaining > 0 and self._p[c] >= 1.0:
+            # Increments until the doubling condition triggers.
+            room = int(math.ceil(2.0 * self._round_base[c] - self._reported_sum[c]))
+            step = min(remaining, max(room, 1))
+            self._local[c, site] += step
+            self._reported[c, site] += step
+            self._reported_sum[c] += step
+            self.message_log.record(MessageKind.REPORT, site, step)
+            remaining -= step
+            self._maybe_advance(c)
+        if remaining > 0:
+            # Fell out of exact mode mid-span; continue with sampling.
+            self._run_sampling_span(c, site, remaining, first_report_known=False)
+
+    # ------------------------------------------------------------------
+    def _apply_site(self, site, counter_ids, counts) -> None:
+        p_touched = self._p[counter_ids]
+        exact_mask = p_touched >= 1.0
+        # Exact-mode counters: every increment is a message.
+        for c, b in zip(counter_ids[exact_mask], counts[exact_mask]):
+            self._exact_span(int(c), site, int(b))
+        # Sampling-mode counters: vectorized no-report pre-filter.
+        sampling = counter_ids[~exact_mask]
+        if sampling.size == 0:
+            return
+        p_s = p_touched[~exact_mask]
+        b_s = counts[~exact_mask]
+        no_report_prob = np.exp(b_s.astype(np.float64) * np.log1p(-p_s))
+        draws = self._rng.random(sampling.size)
+        silent = draws < no_report_prob
+        # Silent spans: counts accrue locally, no communication.
+        silent_ids = sampling[silent]
+        if silent_ids.size:
+            self._local[silent_ids, site] += b_s[silent]
+        # Reporting spans: exact sequential replay with skip-ahead.
+        for c, b in zip(sampling[~silent], b_s[~silent]):
+            self._run_sampling_span(
+                int(c), site, int(b), first_report_known=True
+            )
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def report_probabilities(self) -> np.ndarray:
+        """Current per-counter report probability ``p`` (copy)."""
+        return self._p.copy()
+
+    @property
+    def rounds_started(self) -> np.ndarray:
+        """Number of round transitions per counter (copy)."""
+        return self._rounds_started.copy()
+
+    def relative_errors(self) -> np.ndarray:
+        """``|A - C| / max(C, 1)`` per counter (diagnostic)."""
+        truth = self.true_totals().astype(np.float64)
+        return np.abs(self.estimates() - truth) / np.maximum(truth, 1.0)

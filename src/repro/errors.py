@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A problem with a directed graph structure."""
+
+
+class CyclicGraphError(GraphError):
+    """The graph contains a directed cycle where a DAG is required."""
+
+
+class ModelError(ReproError):
+    """A problem with a Bayesian network model."""
+
+
+class InvalidCPDError(ModelError):
+    """A conditional probability distribution is malformed.
+
+    Raised when a CPD table has the wrong shape, contains negative entries,
+    or has columns that do not sum to one.
+    """
+
+
+class InconsistentNetworkError(ModelError):
+    """Variables, structure, and CPDs of a network disagree."""
+
+
+class AllocationError(ReproError):
+    """An error-budget allocation is infeasible or malformed."""
+
+
+class StreamError(ReproError):
+    """A problem with stream generation or partitioning."""
+
+
+class CounterError(ReproError):
+    """A distributed counter was misused or reached an invalid state."""
+
+
+class QueryError(ReproError):
+    """A probability query is malformed for the given network."""
+
+
+class EvaluationError(ReproError):
+    """A problem in the experiment harness or metric computation."""

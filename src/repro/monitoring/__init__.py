@@ -1,0 +1,27 @@
+"""The continuous distributed monitoring substrate.
+
+Sites receive stream items; a coordinator maintains state and answers
+queries.  This package provides the pieces that surround the counters:
+message accounting, stream partitioning across sites, and the analytic
+cluster model used for runtime/throughput experiments.
+"""
+
+from repro.monitoring.channel import MessageKind, MessageLog
+from repro.monitoring.cluster import ClusterCostModel, ClusterRunSummary
+from repro.monitoring.stream import (
+    RoundRobinPartitioner,
+    StreamPartitioner,
+    UniformPartitioner,
+    ZipfPartitioner,
+)
+
+__all__ = [
+    "MessageKind",
+    "MessageLog",
+    "StreamPartitioner",
+    "UniformPartitioner",
+    "RoundRobinPartitioner",
+    "ZipfPartitioner",
+    "ClusterCostModel",
+    "ClusterRunSummary",
+]

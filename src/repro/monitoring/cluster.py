@@ -1,0 +1,121 @@
+"""Analytic cluster cost model for runtime/throughput experiments.
+
+The paper's Figs 7-8 measure wall-clock runtime and throughput on an AWS
+cluster.  Without hardware, this module models the same pipeline (DESIGN.md
+substitution 1): ``k`` sites process events in parallel, every message
+costs send time at its site and receive time at the coordinator, and the
+coordinator is serial.  The model is intentionally simple — it is the
+*message counts* (measured exactly by the simulation) that drive the
+relative runtimes the paper observes.
+
+Default constants are calibrated to a t2.micro-like budget: ~40 µs of site
+CPU per event per 37-variable network (scaled by n), ~150 µs per message
+send, and ~120 µs per coordinator receive, with messages within one event
+bundled as in the paper's "merge updates into a single message"
+optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class ClusterRunSummary:
+    """Modeled performance for one training run.
+
+    Attributes
+    ----------
+    runtime_seconds:
+        Modeled wall-clock time from first to last coordinator message.
+    throughput_events_per_second:
+        ``m / runtime_seconds``.
+    site_busy_seconds:
+        Busiest site's processing time (the parallel part).
+    coordinator_busy_seconds:
+        Serial coordinator time (the bottleneck for chatty algorithms).
+    """
+
+    runtime_seconds: float
+    throughput_events_per_second: float
+    site_busy_seconds: float
+    coordinator_busy_seconds: float
+
+
+class ClusterCostModel:
+    """Maps (events, messages, sites) to modeled runtime and throughput.
+
+    Parameters
+    ----------
+    event_cpu_seconds:
+        Site CPU per event per variable (model update work).
+    site_send_seconds:
+        Site-side cost to send one bundled message.
+    coordinator_receive_seconds:
+        Coordinator-side cost to receive/apply one bundled message.
+    bundle_size:
+        Average counter updates merged into one wire message (the paper
+        merges all updates triggered by one event).
+    """
+
+    def __init__(
+        self,
+        *,
+        event_cpu_seconds: float = 1.1e-6,
+        site_send_seconds: float = 1.5e-4,
+        coordinator_receive_seconds: float = 1.2e-4,
+        bundle_size: float = 1.0,
+    ) -> None:
+        if min(event_cpu_seconds, site_send_seconds,
+               coordinator_receive_seconds) < 0:
+            raise ValueError("cost constants must be nonnegative")
+        if bundle_size < 1.0:
+            raise ValueError(f"bundle_size must be >= 1, got {bundle_size}")
+        self.event_cpu_seconds = float(event_cpu_seconds)
+        self.site_send_seconds = float(site_send_seconds)
+        self.coordinator_receive_seconds = float(coordinator_receive_seconds)
+        self.bundle_size = float(bundle_size)
+
+    def summarize(
+        self,
+        n_events: int,
+        n_variables: int,
+        total_messages: int,
+        n_sites: int,
+        *,
+        max_site_messages: int | None = None,
+    ) -> ClusterRunSummary:
+        """Model one run.
+
+        ``total_messages`` is the per-counter-update message count reported
+        by :class:`~repro.monitoring.channel.MessageLog`; it is divided by
+        ``bundle_size`` to model the paper's update-merging optimization.
+
+        ``max_site_messages`` (defaults to an even split) captures skew: the
+        busiest site bounds the parallel speedup.
+        """
+        n_events = check_positive_int(n_events, "n_events")
+        n_variables = check_positive_int(n_variables, "n_variables")
+        n_sites = check_positive_int(n_sites, "n_sites")
+        if total_messages < 0:
+            raise ValueError("total_messages must be >= 0")
+        wire_messages = total_messages / self.bundle_size
+        if max_site_messages is None:
+            max_site_wire = wire_messages / n_sites
+        else:
+            max_site_wire = max_site_messages / self.bundle_size
+        events_per_site = n_events / n_sites
+        site_busy = (
+            events_per_site * n_variables * self.event_cpu_seconds
+            + max_site_wire * self.site_send_seconds
+        )
+        coordinator_busy = wire_messages * self.coordinator_receive_seconds
+        runtime = max(site_busy, coordinator_busy)
+        return ClusterRunSummary(
+            runtime_seconds=runtime,
+            throughput_events_per_second=n_events / runtime if runtime > 0 else 0.0,
+            site_busy_seconds=site_busy,
+            coordinator_busy_seconds=coordinator_busy,
+        )

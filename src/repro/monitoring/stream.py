@@ -1,0 +1,82 @@
+"""Partitioning a stream of observations across sites.
+
+The paper's experiments send each training event to a site chosen uniformly
+at random.  The Zipf partitioner implements the skewed-site setting the
+paper lists as future work direction (1), used by the skew ablation bench.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import StreamError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_int
+
+
+class StreamPartitioner(abc.ABC):
+    """Assigns each stream item to one of ``k`` sites."""
+
+    def __init__(self, n_sites: int) -> None:
+        self.n_sites = check_positive_int(n_sites, "n_sites")
+
+    @abc.abstractmethod
+    def assign(self, m: int) -> np.ndarray:
+        """Site index in ``[0, k)`` for each of the next ``m`` items."""
+
+    def site_shares(self, m: int = 100_000) -> np.ndarray:
+        """Empirical fraction of items per site over an ``m``-item draw."""
+        sites = self.assign(m)
+        return np.bincount(sites, minlength=self.n_sites) / m
+
+
+class UniformPartitioner(StreamPartitioner):
+    """Each event goes to a uniformly random site (the paper's setup)."""
+
+    def __init__(self, n_sites: int, *, seed=None) -> None:
+        super().__init__(n_sites)
+        self._rng = as_generator(seed)
+
+    def assign(self, m: int) -> np.ndarray:
+        m = check_positive_int(m, "m")
+        return self._rng.integers(0, self.n_sites, size=m)
+
+
+class RoundRobinPartitioner(StreamPartitioner):
+    """Deterministic rotation through sites; perfectly balanced."""
+
+    def __init__(self, n_sites: int, *, start: int = 0) -> None:
+        super().__init__(n_sites)
+        if not 0 <= start < self.n_sites:
+            raise StreamError(f"start must be in [0, {self.n_sites}), got {start}")
+        self._next = start
+
+    def assign(self, m: int) -> np.ndarray:
+        m = check_positive_int(m, "m")
+        out = (self._next + np.arange(m, dtype=np.int64)) % self.n_sites
+        self._next = int((self._next + m) % self.n_sites)
+        return out
+
+
+class ZipfPartitioner(StreamPartitioner):
+    """Skewed assignment: site ``i`` receives share proportional to
+    ``1 / (i + 1)^exponent``.
+
+    ``exponent = 0`` recovers the uniform distribution; larger exponents
+    concentrate the stream on the first few sites (paper future work (1)).
+    """
+
+    def __init__(self, n_sites: int, *, exponent: float = 1.0, seed=None) -> None:
+        super().__init__(n_sites)
+        if exponent < 0:
+            raise StreamError(f"exponent must be >= 0, got {exponent}")
+        self.exponent = float(exponent)
+        weights = 1.0 / np.arange(1, self.n_sites + 1, dtype=np.float64) ** exponent
+        self._probabilities = weights / weights.sum()
+        self._rng = as_generator(seed)
+
+    def assign(self, m: int) -> np.ndarray:
+        m = check_positive_int(m, "m")
+        return self._rng.choice(self.n_sites, size=m, p=self._probabilities)

@@ -1,0 +1,18 @@
+"""Shared utilities: seeded RNG handling, validation, text tables."""
+
+from repro.utils.rng import RandomSource, as_generator
+from repro.utils.tabletext import format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability_vector,
+)
+
+__all__ = [
+    "RandomSource",
+    "as_generator",
+    "format_table",
+    "check_fraction",
+    "check_positive_int",
+    "check_probability_vector",
+]
