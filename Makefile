@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test smoke bench check
+
+test:
+	$(PYTHON) -m pytest -q
+
+smoke:
+	$(PYTHON) -m repro.experiments messages --network alarm \
+	    --algorithms exact,nonuniform --events 1000 --sites 5 \
+	    --eval-events 200 --checkpoints 2 --out /tmp/repro_smoke.json
+	$(PYTHON) -m repro.experiments bench --events 2000 --sites 6 \
+	    --repeats 1 --out /tmp/repro_smoke_bench.json
+
+bench:
+	$(PYTHON) -m repro.experiments bench --sites 30 --events 20000
+
+check: test smoke

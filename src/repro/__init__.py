@@ -43,6 +43,12 @@ from repro.counters import (
     HYZCounterBank,
 )
 from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentResult,
+    ExperimentRunner,
+    RunResult,
+    benchmark_update_strategies,
+)
 from repro.graph import DAG
 from repro.monitoring import (
     ClusterCostModel,
@@ -82,4 +88,8 @@ __all__ = [
     "RoundRobinPartitioner",
     "ZipfPartitioner",
     "ClusterCostModel",
+    "ExperimentRunner",
+    "ExperimentResult",
+    "RunResult",
+    "benchmark_update_strategies",
 ]

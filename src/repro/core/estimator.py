@@ -10,9 +10,11 @@ two counters per CPD table entry family:
   the product terms in the analysis stay independent (Sec. IV-D).
 
 ``update_batch`` implements Algorithm 2 vectorized over a batch of events:
-for each site, all ``2n`` counter increments per event are encoded as flat
-counter ids, aggregated with one ``bincount``, and handed to the bank.
-``query``/``query_event`` implement Algorithm 3.
+all ``2n`` counter increments per event are encoded as flat counter ids,
+collapsed to unique ``(site, counter, count)`` triples by one sort-based
+grouping pass, and handed to the bank's grouped fast path.  The legacy
+per-site mask loop survives as ``update_batch_masked`` for benchmarking and
+regression pinning.  ``query``/``query_event`` implement Algorithm 3.
 """
 
 from __future__ import annotations
@@ -26,6 +28,15 @@ from repro.bn.network import BayesianNetwork
 from repro.counters.base import CounterBank
 from repro.errors import QueryError, StreamError
 from repro.utils.validation import check_positive_int
+
+#: Largest ``k * n_counters`` key space the "dense" grouping strategy may
+#: histogram (8M int64 entries = 64 MB transient); beyond it "auto" falls
+#: back to argsort sharding.
+_DENSE_GROUP_BUDGET = 1 << 23
+
+#: Largest variable count for which the dense stride-matrix dgemm encoder is
+#: built; larger (sparse) networks keep the O(edges) per-variable loop.
+_DENSE_ENCODE_MAX_VARIABLES = 256
 
 
 class _VariableLayout:
@@ -109,6 +120,31 @@ class StreamingMLEEstimator:
             layout.parent_offset = parent_cursor
             parent_cursor += layout.k_configs
         self.n_counters = parent_cursor
+        n = len(self._layouts)
+        self._joint_offsets = np.array(
+            [l.joint_offset for l in self._layouts], dtype=np.int64
+        )
+        self._parent_offsets = np.array(
+            [l.parent_offset for l in self._layouts], dtype=np.int64
+        )
+        self._k_configs_vec = np.array(
+            [l.k_configs for l in self._layouts], dtype=np.int64
+        )
+        # Dense (n, n) parent-stride matrix: one dgemm turns a whole batch
+        # into parent-configuration codes.  Only built for small/medium n —
+        # for the huge sparse networks (LINK, MUNIN) a dense matmul would do
+        # O(n^2) work per event where the per-variable loop does O(edges).
+        if n <= _DENSE_ENCODE_MAX_VARIABLES:
+            self._stride_matrix = np.zeros((n, n))
+            for layout in self._layouts:
+                self._stride_matrix[layout.parent_positions, layout.index] = (
+                    layout.parent_strides
+                )
+            self._k_configs_f = self._k_configs_vec.astype(np.float64)
+            self._joint_offsets_f = self._joint_offsets.astype(np.float64)
+            self._parent_offsets_f = self._parent_offsets.astype(np.float64)
+        else:
+            self._stride_matrix = None
         self.bank: CounterBank = bank_factory(self.n_counters)
         if self.bank.n_counters != self.n_counters:
             raise StreamError(
@@ -124,7 +160,10 @@ class StreamingMLEEstimator:
     def _encode_batch(self, data: np.ndarray) -> np.ndarray:
         """Flat counter ids for all ``2n`` increments of each event.
 
-        Returns an array of shape ``(m, 2n)``.
+        Returns an array of shape ``(m, 2n)``: joint-counter ids in columns
+        ``[0, n)``, parent-counter ids in ``[n, 2n)``.  This is the original
+        per-variable encoder; it backs the legacy masked path and remains the
+        reference the fused :meth:`_encode_halves` is tested against.
         """
         m = data.shape[0]
         n = len(self._layouts)
@@ -139,12 +178,41 @@ class StreamingMLEEstimator:
             ids[:, n + layout.index] = layout.parent_offset + pstate
         return ids
 
-    def update_batch(self, data: np.ndarray, site_ids: np.ndarray) -> None:
-        """Feed a batch of events, each observed at its assigned site.
+    def _encode_halves(self, data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Joint and parent counter ids as two ``(m, n)`` int64 arrays.
 
-        ``data`` is ``(m, n)`` state indices in topological variable order;
-        ``site_ids`` is ``(m,)``.
+        The sharded update strategies consume the two halves separately (two
+        ``bincount`` calls replace one concatenation), so this encoder never
+        materializes the ``(m, 2n)`` layout.  For small/medium networks all
+        parent-configuration codes come from a single float64 dgemm against
+        the precomputed stride matrix — exact, since every intermediate value
+        is an integer far below 2**53 — followed by in-place arithmetic that
+        reuses the two float buffers; large sparse networks fall back to the
+        per-variable loop, which does O(edges) rather than O(n^2) work.
         """
+        if self._stride_matrix is not None:
+            df = data.astype(np.float64)
+            pstates = df @ self._stride_matrix
+            np.multiply(df, self._k_configs_f, out=df)
+            df += pstates
+            df += self._joint_offsets_f
+            pstates += self._parent_offsets_f
+            return df.astype(np.int64), pstates.astype(np.int64)
+        m = data.shape[0]
+        n = len(self._layouts)
+        joint = np.empty((m, n), dtype=np.int64)
+        parent = np.empty((m, n), dtype=np.int64)
+        for layout in self._layouts:
+            pstate = layout.parent_state_batch(data)
+            joint[:, layout.index] = (
+                layout.joint_offset
+                + data[:, layout.index] * layout.k_configs
+                + pstate
+            )
+            parent[:, layout.index] = layout.parent_offset + pstate
+        return joint, parent
+
+    def _validate_batch(self, data, site_ids) -> tuple[np.ndarray, np.ndarray]:
         data = np.asarray(data, dtype=np.int64)
         site_ids = np.asarray(site_ids, dtype=np.int64)
         if data.ndim != 2 or data.shape[1] != len(self._layouts):
@@ -155,13 +223,132 @@ class StreamingMLEEstimator:
         if site_ids.shape != (data.shape[0],):
             raise StreamError("site_ids must have one entry per event")
         if data.shape[0] == 0:
-            return
+            return data, site_ids
         if site_ids.min() < 0 or site_ids.max() >= self.n_sites:
             raise StreamError("site id out of range")
         cards = self.network.cardinalities()
         if data.min() < 0 or np.any(data >= cards[None, :]):
             raise StreamError("event contains out-of-range state indices")
+        return data, site_ids
 
+    def update_batch(
+        self,
+        data: np.ndarray,
+        site_ids: np.ndarray,
+        *,
+        strategy: str = "auto",
+    ) -> None:
+        """Feed a batch of events, each observed at its assigned site.
+
+        ``data`` is ``(m, n)`` state indices in topological variable order;
+        ``site_ids`` is ``(m,)``.
+
+        ``strategy`` picks how the ``2n * m`` increments are grouped into the
+        unique ``(site, counter, count)`` triples that
+        :meth:`~repro.counters.base.CounterBank.bulk_add_grouped` consumes:
+
+        - ``"argsort"`` — one stable argsort of ``site_ids`` shards the batch
+          into contiguous per-site runs aggregated from views, replacing the
+          legacy ``O(k * m)`` per-site boolean-mask scans.
+        - ``"dense"`` — increments are keyed as ``site * n_counters +
+          counter`` and collapsed by a single ``bincount`` over the whole
+          ``k * n_counters`` key space; fastest when that table fits in
+          memory comfortably.
+        - ``"auto"`` (default) — ``"dense"`` when the key space fits
+          :data:`_DENSE_GROUP_BUDGET` and is amortized by the batch's
+          increment count, else ``"argsort"``.
+        - ``"masked"`` — the legacy per-site boolean-mask loop, kept for
+          benchmarking and regression pinning (also available as
+          :meth:`update_batch_masked`).
+
+        All strategies hand the banks identical per-site (sorted, unique)
+        aggregates in ascending site order, so they leave every bank —
+        including the RNG-driven HYZ bank — in a byte-identical state.
+        """
+        data, site_ids = self._validate_batch(data, site_ids)
+        if data.shape[0] == 0:
+            return
+        if strategy == "auto":
+            # Dense pays O(k * n_counters) per call regardless of batch
+            # size, so it must also be amortized by the batch: require the
+            # key table to fit the budget AND not dwarf the increment count
+            # (2n per event), or tiny batches regress badly.
+            table = self.n_sites * self.n_counters
+            increments = 2 * len(self._layouts) * data.shape[0]
+            strategy = (
+                "dense"
+                if table <= _DENSE_GROUP_BUDGET and table <= 8 * increments
+                else "argsort"
+            )
+        if strategy == "dense":
+            self._update_grouped_dense(data, site_ids)
+        elif strategy == "argsort":
+            self._update_grouped_argsort(data, site_ids)
+        elif strategy == "masked":
+            self._update_masked(data, site_ids)
+        else:
+            raise StreamError(
+                f"unknown update strategy {strategy!r}; expected 'auto', "
+                "'dense', 'argsort', or 'masked'"
+            )
+        self.events_seen += data.shape[0]
+
+    def update_batch_masked(self, data: np.ndarray, site_ids: np.ndarray) -> None:
+        """Legacy per-site boolean-mask implementation of :meth:`update_batch`.
+
+        Kept as the reference path: the experiment harness benchmarks it
+        against the sharded strategies, and the regression suite pins that
+        every path leaves the counter banks in a byte-identical state.
+        """
+        self.update_batch(data, site_ids, strategy="masked")
+
+    def _update_grouped_dense(self, data: np.ndarray, site_ids: np.ndarray) -> None:
+        joint, parent = self._encode_halves(data)
+        site_keys = (site_ids * np.int64(self.n_counters))[:, None]
+        joint += site_keys
+        parent += site_keys
+        table = self.n_sites * self.n_counters
+        dense = np.bincount(joint.ravel(), minlength=table)
+        dense += np.bincount(parent.ravel(), minlength=table)
+        touched = np.flatnonzero(dense)
+        self.bank.bulk_add_grouped(
+            touched // self.n_counters,
+            touched % self.n_counters,
+            dense[touched],
+        )
+
+    def _update_grouped_argsort(self, data: np.ndarray, site_ids: np.ndarray) -> None:
+        order = np.argsort(site_ids, kind="stable")
+        sorted_sites = site_ids[order]
+        # Encoding the site-sorted rows makes every per-site slice below a
+        # contiguous view — no per-site row gather.
+        joint, parent = self._encode_halves(data[order])
+        starts = np.flatnonzero(
+            np.r_[True, sorted_sites[1:] != sorted_sites[:-1]]
+        )
+        bounds = np.append(starts, sorted_sites.size)
+        site_parts, counter_parts, count_parts = [], [], []
+        for i in range(starts.size):
+            lo, hi = bounds[i], bounds[i + 1]
+            dense = np.bincount(
+                joint[lo:hi].ravel(), minlength=self.n_counters
+            )
+            dense += np.bincount(
+                parent[lo:hi].ravel(), minlength=self.n_counters
+            )
+            touched = np.flatnonzero(dense)
+            counter_parts.append(touched)
+            count_parts.append(dense[touched])
+            site_parts.append(
+                np.full(touched.size, sorted_sites[lo], dtype=np.int64)
+            )
+        self.bank.bulk_add_grouped(
+            np.concatenate(site_parts),
+            np.concatenate(counter_parts),
+            np.concatenate(count_parts),
+        )
+
+    def _update_masked(self, data: np.ndarray, site_ids: np.ndarray) -> None:
         ids = self._encode_batch(data)
         for site in range(self.n_sites):
             mask = site_ids == site
@@ -171,7 +358,6 @@ class StreamingMLEEstimator:
             dense = np.bincount(flat, minlength=self.n_counters)
             touched = np.nonzero(dense)[0]
             self.bank.bulk_add_site(site, touched, dense[touched])
-        self.events_seen += data.shape[0]
 
     def update(self, event: np.ndarray, site_id: int) -> None:
         """Algorithm 2 for a single event."""

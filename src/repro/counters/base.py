@@ -102,6 +102,53 @@ class CounterBank(abc.ABC):
             if touched.size:
                 self._apply_site(site, touched, dense[touched])
 
+    def bulk_add_grouped(self, site_ids, counter_ids, counts) -> None:
+        """Apply pre-grouped ``(site, counter, count)`` increment triples.
+
+        The fast path used by the streaming estimator's argsort sharding:
+        the triples must already be aggregated so that ``(site, counter)``
+        pairs are unique, sorted site-major then counter-minor, with strictly
+        positive counts.  Each site's slice is handed to :meth:`_apply_site`
+        directly — no per-site masking or dense ``bincount`` scan — and sites
+        are visited in ascending order, so randomized banks consume their RNG
+        streams exactly as the per-site path would.
+        """
+        site_ids = np.asarray(site_ids, dtype=np.int64)
+        counter_ids = np.asarray(counter_ids, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        if not (site_ids.shape == counter_ids.shape == counts.shape):
+            raise CounterError("site_ids, counter_ids, counts must align")
+        if site_ids.ndim != 1:
+            raise CounterError("bulk_add_grouped expects 1-D arrays")
+        if site_ids.size == 0:
+            return
+        if site_ids[0] < 0 or site_ids[-1] >= self.n_sites:
+            raise CounterError("site id out of range")
+        if counter_ids.min() < 0 or counter_ids.max() >= self.n_counters:
+            raise CounterError("counter id out of range")
+        if counts.min() <= 0:
+            raise CounterError("bulk_add_grouped counts must be > 0")
+        site_steps = np.diff(site_ids)
+        if np.any(site_steps < 0):
+            raise CounterError("bulk_add_grouped site_ids must be sorted")
+        if np.any((site_steps == 0) & (np.diff(counter_ids) <= 0)):
+            raise CounterError(
+                "bulk_add_grouped (site, counter) pairs must be unique and "
+                "sorted counter-minor within each site"
+            )
+        self._apply_grouped(site_ids, counter_ids, counts)
+
+    def _apply_grouped(self, site_ids: np.ndarray, counter_ids: np.ndarray,
+                       counts: np.ndarray) -> None:
+        """Dispatch validated grouped triples; sites arrive in ascending
+        order.  Banks with site-independent state may override this with a
+        fully vectorized version (see :class:`ExactCounterBank`)."""
+        starts = np.flatnonzero(np.r_[True, site_ids[1:] != site_ids[:-1]])
+        bounds = np.append(starts, site_ids.size)
+        for i in range(starts.size):
+            lo, hi = bounds[i], bounds[i + 1]
+            self._apply_site(int(site_ids[lo]), counter_ids[lo:hi], counts[lo:hi])
+
     def bulk_add_site(self, site: int, counter_ids, counts) -> None:
         """Apply pre-aggregated increments observed at one site.
 

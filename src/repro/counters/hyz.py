@@ -239,6 +239,11 @@ class HYZCounterBank(CounterBank):
             self._run_sampling_span(c, site, remaining, first_report_known=False)
 
     # ------------------------------------------------------------------
+    # `bulk_add_grouped` (the estimator's argsort fast path) is inherited
+    # from CounterBank: it dispatches each site's slice to `_apply_site` in
+    # ascending site order, which consumes this bank's RNG stream in exactly
+    # the same order as the legacy per-site-mask path — a property the
+    # hot-path regression test pins byte-for-byte.
     def _apply_site(self, site, counter_ids, counts) -> None:
         p_touched = self._p[counter_ids]
         exact_mask = p_touched >= 1.0

@@ -1,0 +1,36 @@
+"""The experiment harness: the paper's evaluation as a runnable subsystem.
+
+- :mod:`repro.experiments.runner` — :class:`ExperimentRunner` drives
+  (network, algorithm, partitioner, eps, k, m) grids through
+  ``make_estimator`` and records messages, accuracy, and modeled runtime.
+- :mod:`repro.experiments.results` — result dataclasses with
+  ``BENCH_*.json``-style serialization.
+- :mod:`repro.experiments.bench` — microbenchmarks for the training hot
+  path (update_batch grouping strategies).
+- :mod:`repro.experiments.cli` — ``python -m repro.experiments`` with one
+  subcommand per figure family.
+"""
+
+from repro.experiments.bench import benchmark_update_strategies
+from repro.experiments.results import (
+    SCHEMA,
+    CheckpointRecord,
+    ExperimentResult,
+    RunResult,
+)
+from repro.experiments.runner import (
+    ExperimentRunner,
+    checkpoint_schedule,
+    make_partitioner,
+)
+
+__all__ = [
+    "SCHEMA",
+    "CheckpointRecord",
+    "RunResult",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "checkpoint_schedule",
+    "make_partitioner",
+    "benchmark_update_strategies",
+]

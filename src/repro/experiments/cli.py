@@ -1,0 +1,222 @@
+"""``python -m repro.experiments`` — the paper's evaluation, as subcommands.
+
+One subcommand per figure family of Zhang, Tirthapura & Cormode (ICDE 2018):
+
+- ``messages``  — message counts and accuracy along the stream (Fig. 4).
+- ``eps``       — communication vs the approximation budget eps (Fig. 5).
+- ``sites``     — communication vs the number of sites k (Fig. 6).
+- ``accuracy``  — estimate accuracy vs stream length (Fig. 7's metric).
+- ``runtime``   — modeled cluster runtime/throughput (Figs. 7-8).
+- ``bench``     — microbenchmark of the update_batch grouping strategies.
+
+Each subcommand prints an aligned summary table to stderr and writes a
+``BENCH_*.json``-style document to ``--out`` (stdout by default).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.core.algorithms import ALGORITHMS
+from repro.experiments.bench import benchmark_update_strategies
+from repro.experiments.runner import ExperimentRunner
+from repro.utils.tabletext import format_table
+
+
+def _csv(value: str) -> list[str]:
+    return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _csv_floats(value: str) -> list[float]:
+    return [float(part) for part in _csv(value)]
+
+
+def _csv_ints(value: str) -> list[int]:
+    return [int(part) for part in _csv(value)]
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--network", default="alarm",
+        help="evaluation network name (Table I): alarm, new-alarm, hepar2, "
+        "link, munin",
+    )
+    parser.add_argument(
+        "--algorithms", type=_csv, default=list(ALGORITHMS),
+        help="comma-separated algorithm list (default: %(default)s)",
+    )
+    parser.add_argument("--events", type=int, default=10_000,
+                        help="stream length m (default: %(default)s)")
+    parser.add_argument("--sites", type=int, default=10,
+                        help="number of sites k (default: %(default)s)")
+    parser.add_argument("--eps", type=float, default=0.1,
+                        help="approximation budget (default: %(default)s)")
+    parser.add_argument("--checkpoints", type=int, default=5,
+                        help="evenly spaced checkpoints (default: %(default)s)")
+    parser.add_argument("--partitioner", default="uniform",
+                        choices=["uniform", "round-robin", "zipf"])
+    parser.add_argument("--zipf-exponent", type=float, default=1.0)
+    parser.add_argument("--counter-backend", default="hyz",
+                        choices=["hyz", "deterministic"])
+    parser.add_argument("--eval-events", type=int, default=2_000,
+                        help="held-out accuracy sample size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="write JSON here (default: stdout)")
+
+
+def _runner(args) -> ExperimentRunner:
+    return ExperimentRunner(
+        eval_events=args.eval_events, seed=args.seed
+    )
+
+
+def _emit(document: dict, out_path, *, summary: str) -> None:
+    print(summary, file=sys.stderr)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    if out_path:
+        with open(out_path, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {out_path}", file=sys.stderr)
+    else:
+        print(text)
+
+
+def _run_table(result) -> str:
+    rows = []
+    for run in result.runs:
+        final = run.final
+        rows.append([
+            run.network, run.algorithm, run.eps, run.n_sites, run.n_events,
+            final.total_messages, run.messages_per_event,
+            "-" if final.mean_abs_log_error is None
+            else final.mean_abs_log_error,
+            run.runtime["runtime_seconds"],
+        ])
+    return format_table(
+        ["network", "algorithm", "eps", "k", "m", "messages", "msg/event",
+         "|log-err|", "model-sec"],
+        rows,
+        title=f"experiment: {result.name}",
+    )
+
+
+def _grid_command(args, *, name, eps_values=None, site_counts=None) -> int:
+    runner = _runner(args)
+    result = runner.run_grid(
+        name,
+        networks=[args.network],
+        algorithms=args.algorithms,
+        eps_values=eps_values if eps_values is not None else [args.eps],
+        site_counts=site_counts if site_counts is not None else [args.sites],
+        n_events=args.events,
+        checkpoints=args.checkpoints,
+        partitioner=args.partitioner,
+        zipf_exponent=args.zipf_exponent,
+        counter_backend=args.counter_backend,
+    )
+    _emit(result.to_dict(), args.out, summary=_run_table(result))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_messages = sub.add_parser(
+        "messages", help="messages and accuracy along the stream (Fig. 4)"
+    )
+    _add_common(p_messages)
+
+    p_eps = sub.add_parser(
+        "eps", help="communication vs approximation budget eps (Fig. 5)"
+    )
+    _add_common(p_eps)
+    p_eps.add_argument(
+        "--eps-values", type=_csv_floats, default=[0.05, 0.1, 0.2, 0.4],
+        help="comma-separated eps sweep (default: %(default)s)",
+    )
+
+    p_sites = sub.add_parser(
+        "sites", help="communication vs number of sites k (Fig. 6)"
+    )
+    _add_common(p_sites)
+    p_sites.add_argument(
+        "--site-values", type=_csv_ints, default=[5, 10, 20, 30],
+        help="comma-separated site-count sweep (default: %(default)s)",
+    )
+
+    p_accuracy = sub.add_parser(
+        "accuracy", help="estimate accuracy vs stream length"
+    )
+    _add_common(p_accuracy)
+
+    p_runtime = sub.add_parser(
+        "runtime", help="modeled cluster runtime and throughput (Figs. 7-8)"
+    )
+    _add_common(p_runtime)
+
+    p_bench = sub.add_parser(
+        "bench", help="microbenchmark update_batch grouping strategies"
+    )
+    p_bench.add_argument("--network", default="alarm")
+    p_bench.add_argument("--algorithm", default="exact")
+    p_bench.add_argument("--eps", type=float, default=0.3)
+    p_bench.add_argument("--sites", type=int, default=30)
+    p_bench.add_argument("--events", type=int, default=20_000)
+    p_bench.add_argument("--repeats", type=int, default=7)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--out", default=None)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "messages":
+        return _grid_command(args, name="messages-vs-stream")
+    if args.command == "eps":
+        return _grid_command(
+            args, name="messages-vs-eps", eps_values=args.eps_values
+        )
+    if args.command == "sites":
+        return _grid_command(
+            args, name="messages-vs-sites", site_counts=args.site_values
+        )
+    if args.command == "accuracy":
+        return _grid_command(args, name="accuracy-vs-stream")
+    if args.command == "runtime":
+        return _grid_command(args, name="modeled-runtime")
+    if args.command == "bench":
+        document = benchmark_update_strategies(
+            args.network,
+            algorithm=args.algorithm,
+            eps=args.eps,
+            n_sites=args.sites,
+            n_events=args.events,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        baseline = document["baseline_strategy"]
+        rows = [
+            [r["strategy"], r["ms_per_batch"],
+             r.get(f"speedup_vs_{baseline}", "-")]
+            for r in document["results"]
+        ]
+        _emit(
+            document, args.out,
+            summary=format_table(
+                ["strategy", "ms/batch", f"speedup-vs-{baseline}"], rows,
+                title=f"update_batch microbenchmark "
+                      f"(k={args.sites}, m={args.events})",
+            ),
+        )
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

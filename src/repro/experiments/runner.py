@@ -1,0 +1,272 @@
+"""Drive estimator grids through simulated streams and collect results.
+
+:class:`ExperimentRunner` reproduces the paper's evaluation loop (Sec. VI):
+sample a training stream from the ground-truth network, partition it across
+``k`` sites, feed it to one estimator per grid point, and record message
+counts, estimate accuracy against the sampling network, and the modeled
+cluster runtime at checkpoints along the stream.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.bn.network import BayesianNetwork
+from repro.bn.repository import network_by_name
+from repro.bn.sampling import ForwardSampler
+from repro.core.algorithms import make_estimator
+from repro.errors import StreamError
+from repro.experiments.results import (
+    CheckpointRecord,
+    ExperimentResult,
+    RunResult,
+)
+from repro.monitoring.cluster import ClusterCostModel
+from repro.monitoring.stream import (
+    RoundRobinPartitioner,
+    UniformPartitioner,
+    ZipfPartitioner,
+)
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_positive_int
+
+
+def make_partitioner(name: str, n_sites: int, *, seed=None, exponent: float = 1.0):
+    """Build a stream partitioner by its CLI name."""
+    key = name.strip().lower().replace("_", "-")
+    if key == "uniform":
+        return UniformPartitioner(n_sites, seed=seed)
+    if key == "round-robin":
+        return RoundRobinPartitioner(n_sites)
+    if key == "zipf":
+        return ZipfPartitioner(n_sites, exponent=exponent, seed=seed)
+    raise StreamError(
+        f"unknown partitioner {name!r}; expected 'uniform', 'round-robin', "
+        "or 'zipf'"
+    )
+
+
+def checkpoint_schedule(n_events: int, n_checkpoints: int) -> list[int]:
+    """Evenly spaced checkpoint positions ending exactly at ``n_events``."""
+    n_events = check_positive_int(n_events, "n_events")
+    n_checkpoints = check_positive_int(n_checkpoints, "n_checkpoints")
+    points = np.linspace(0, n_events, min(n_checkpoints, n_events) + 1)[1:]
+    return sorted({int(round(p)) for p in points})
+
+
+class ExperimentRunner:
+    """Runs (network, algorithm, partitioner, eps, k, m) grid points.
+
+    Parameters
+    ----------
+    eval_events:
+        Held-out evaluation events sampled from the ground-truth network;
+        accuracy is the mean absolute log-probability error over them.
+    chunk_size:
+        Stream batch size fed to ``update_batch`` (the training hot path).
+    cost_model:
+        The analytic cluster model used for modeled runtime/throughput.
+    seed:
+        Root seed; every run derives its own independent child streams.
+    update_strategy:
+        Grouping strategy handed to ``update_batch`` (``"auto"`` by default;
+        the benchmark subcommand compares all of them explicitly).
+    """
+
+    def __init__(
+        self,
+        *,
+        eval_events: int = 2_000,
+        chunk_size: int = 10_000,
+        cost_model: ClusterCostModel | None = None,
+        seed: int = 0,
+        update_strategy: str = "auto",
+    ) -> None:
+        self.eval_events = check_positive_int(eval_events, "eval_events")
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.cost_model = cost_model or ClusterCostModel()
+        self.seed = int(seed)
+        self.update_strategy = str(update_strategy)
+
+    # ------------------------------------------------------------------
+    def _resolve_network(self, network) -> BayesianNetwork:
+        if isinstance(network, BayesianNetwork):
+            return network
+        return network_by_name(str(network))
+
+    def _accuracy(self, estimator, eval_data, truth_logp) -> tuple[float | None, float]:
+        est_logp = estimator.log_query_batch(eval_data)
+        scored = np.isfinite(est_logp)
+        unscored = 1.0 - scored.mean()
+        if not scored.any():
+            return None, float(unscored)
+        error = float(np.mean(np.abs(est_logp[scored] - truth_logp[scored])))
+        return error, float(unscored)
+
+    # ------------------------------------------------------------------
+    def run_one(
+        self,
+        network,
+        algorithm: str,
+        *,
+        eps: float = 0.1,
+        n_sites: int = 10,
+        n_events: int = 10_000,
+        checkpoints: Sequence[int] | int = 5,
+        partitioner: str = "uniform",
+        zipf_exponent: float = 1.0,
+        counter_backend: str = "hyz",
+        seed: int | None = None,
+    ) -> RunResult:
+        """Train one estimator over one simulated stream.
+
+        ``checkpoints`` is either an explicit increasing schedule of event
+        counts (the last entry must equal ``n_events``) or a count of evenly
+        spaced checkpoints.
+        """
+        net = self._resolve_network(network)
+        n_events = check_positive_int(n_events, "n_events")
+        if isinstance(checkpoints, int):
+            schedule = checkpoint_schedule(n_events, checkpoints)
+        else:
+            schedule = sorted({int(c) for c in checkpoints})
+            if not schedule or schedule[-1] != n_events:
+                raise StreamError(
+                    "explicit checkpoint schedule must end at n_events"
+                )
+            if schedule[0] <= 0:
+                raise StreamError("checkpoints must be positive")
+        run_seed = self.seed if seed is None else int(seed)
+        source = RandomSource(run_seed)
+        sampler = ForwardSampler(net, seed=source.generator())
+        parts = make_partitioner(
+            partitioner, n_sites, seed=source.generator(), exponent=zipf_exponent
+        )
+        estimator = make_estimator(
+            net,
+            algorithm,
+            eps=eps,
+            n_sites=n_sites,
+            seed=source.generator(),
+            counter_backend=counter_backend,
+        )
+        eval_sampler = ForwardSampler(net, seed=source.generator())
+        eval_data = eval_sampler.sample(self.eval_events)
+        truth_logp = net.log_probability_batch(eval_data)
+
+        records: list[CheckpointRecord] = []
+        produced = 0
+        wall = 0.0
+        for target in schedule:
+            while produced < target:
+                size = min(self.chunk_size, target - produced)
+                batch = sampler.sample(size)
+                sites = parts.assign(size)
+                t0 = time.perf_counter()
+                estimator.update_batch(
+                    batch, sites, strategy=self.update_strategy
+                )
+                wall += time.perf_counter() - t0
+                produced += size
+            error, unscored = self._accuracy(estimator, eval_data, truth_logp)
+            records.append(
+                CheckpointRecord(
+                    events=produced,
+                    total_messages=estimator.total_messages,
+                    messages_by_kind=estimator.bank.message_log.snapshot(),
+                    mean_abs_log_error=error,
+                    unscored_fraction=unscored,
+                )
+            )
+
+        log = estimator.bank.message_log
+        summary = self.cost_model.summarize(
+            n_events,
+            net.n_variables,
+            estimator.total_messages,
+            n_sites,
+            max_site_messages=int(log.site_messages.max()),
+        )
+        return RunResult(
+            network=net.name,
+            algorithm=estimator.name,
+            partitioner=partitioner,
+            counter_backend=counter_backend if algorithm != "exact" else "exact",
+            eps=float(eps),
+            n_sites=int(n_sites),
+            n_events=n_events,
+            seed=run_seed,
+            n_variables=net.n_variables,
+            parameter_count=net.parameter_count,
+            n_counters=estimator.n_counters,
+            checkpoints=records,
+            runtime={
+                "runtime_seconds": summary.runtime_seconds,
+                "throughput_events_per_second": summary.throughput_events_per_second,
+                "site_busy_seconds": summary.site_busy_seconds,
+                "coordinator_busy_seconds": summary.coordinator_busy_seconds,
+            },
+            wall_seconds=wall,
+        )
+
+    # ------------------------------------------------------------------
+    def run_grid(
+        self,
+        name: str,
+        *,
+        networks: Sequence = ("alarm",),
+        algorithms: Sequence[str] = ("exact", "nonuniform"),
+        eps_values: Sequence[float] = (0.1,),
+        site_counts: Sequence[int] = (10,),
+        n_events: int = 10_000,
+        checkpoints: Sequence[int] | int = 5,
+        partitioner: str = "uniform",
+        zipf_exponent: float = 1.0,
+        counter_backend: str = "hyz",
+    ) -> ExperimentResult:
+        """Run the full cartesian grid and collect an :class:`ExperimentResult`."""
+        resolved = [self._resolve_network(n) for n in networks]
+        result = ExperimentResult(
+            name=name,
+            params={
+                "networks": [n.name for n in resolved],
+                "algorithms": list(algorithms),
+                "eps_values": [float(e) for e in eps_values],
+                "site_counts": [int(k) for k in site_counts],
+                "n_events": int(n_events),
+                "partitioner": partitioner,
+                "zipf_exponent": zipf_exponent,
+                "checkpoints": (
+                    checkpoints
+                    if isinstance(checkpoints, int)
+                    else [int(c) for c in checkpoints]
+                ),
+                "counter_backend": counter_backend,
+                "eval_events": self.eval_events,
+                "seed": self.seed,
+            },
+        )
+        # Every run_one call reuses self.seed, so all grid points train on
+        # byte-identical streams/partitions — the paired design the paper's
+        # algorithm comparisons assume (regeneration keeps memory flat).
+        for net in resolved:
+            for eps in eps_values:
+                for n_sites in site_counts:
+                    for algorithm in algorithms:
+                        result.runs.append(
+                            self.run_one(
+                                net,
+                                algorithm,
+                                eps=eps,
+                                n_sites=n_sites,
+                                n_events=n_events,
+                                checkpoints=checkpoints,
+                                partitioner=partitioner,
+                                zipf_exponent=zipf_exponent,
+                                counter_backend=counter_backend,
+                            )
+                        )
+        return result

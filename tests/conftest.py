@@ -1,0 +1,42 @@
+"""Shared fixtures: the paper's ALARM network and a tiny exact-inference net."""
+
+import numpy as np
+import pytest
+
+from repro import BayesianNetwork, alarm
+from repro.bn.cpd import TabularCPD
+from repro.bn.variable import Variable
+from repro.graph.dag import DAG
+
+
+@pytest.fixture(scope="session")
+def alarm_net():
+    return alarm()
+
+
+@pytest.fixture(scope="session")
+def small_net():
+    """A 4-variable network small enough for brute-force joint enumeration.
+
+    Structure: A -> B, A -> C, (B, C) -> D with cardinalities (2, 3, 2, 2).
+    """
+    dag = DAG({"A": (), "B": ("A",), "C": ("A",), "D": ("B", "C")})
+    variables = [
+        Variable("A", 2), Variable("B", 3), Variable("C", 2), Variable("D", 2)
+    ]
+    rng = np.random.default_rng(77)
+
+    def column(j):
+        raw = rng.dirichlet(np.ones(j))
+        return 0.9 * raw + 0.1 / j
+
+    def table(j, k):
+        return np.stack([column(j) for _ in range(k)], axis=1)
+
+    cpds = [
+        TabularCPD("A", 2, (), (), table(2, 1)),
+        TabularCPD("B", 3, ("A",), (2,), table(3, 2)),
+        TabularCPD("C", 2, ("A",), (2,), table(2, 2)),
+        TabularCPD("D", 2, ("B", "C"), (3, 2), table(2, 6)),
+    ]
+    return BayesianNetwork(dag, variables, cpds, name="small")

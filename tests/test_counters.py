@@ -1,0 +1,191 @@
+"""Property tests for the distributed counter banks."""
+
+import numpy as np
+import pytest
+
+from repro import DeterministicCounterBank, ExactCounterBank, HYZCounterBank
+from repro.errors import CounterError
+
+
+def _random_workload(rng, n_counters, n_sites, n_ops):
+    counter_ids = rng.integers(0, n_counters, size=n_ops)
+    site_ids = rng.integers(0, n_sites, size=n_ops)
+    counts = rng.integers(1, 7, size=n_ops)
+    return counter_ids, site_ids, counts
+
+
+class TestExactCounterBank:
+    def test_matches_ground_truth_exactly(self):
+        rng = np.random.default_rng(0)
+        bank = ExactCounterBank(50, 8)
+        truth = np.zeros(50, dtype=np.int64)
+        for _ in range(5):
+            counter_ids, site_ids, counts = _random_workload(rng, 50, 8, 400)
+            bank.bulk_add(counter_ids, site_ids, counts)
+            np.add.at(truth, counter_ids, counts)
+        assert np.array_equal(bank.estimates(), truth.astype(float))
+        assert np.array_equal(bank.true_totals(), truth)
+        # Lemma 5 accounting: one message per increment.
+        assert bank.total_messages == int(truth.sum())
+
+    def test_grouped_path_matches_per_site_path(self):
+        rng = np.random.default_rng(1)
+        counter_ids, site_ids, counts = _random_workload(rng, 40, 6, 300)
+        a = ExactCounterBank(40, 6)
+        a.bulk_add(counter_ids, site_ids, counts)
+        # Aggregate the same workload into sorted unique grouped triples.
+        keys = site_ids * 40 + counter_ids
+        dense = np.bincount(keys, weights=counts, minlength=40 * 6).astype(
+            np.int64
+        )
+        touched = np.flatnonzero(dense)
+        b = ExactCounterBank(40, 6)
+        b.bulk_add_grouped(touched // 40, touched % 40, dense[touched])
+        assert np.array_equal(a.estimates(), b.estimates())
+        assert np.array_equal(a._local, b._local)
+        assert a.total_messages == b.total_messages
+
+    def test_bulk_add_validation(self):
+        bank = ExactCounterBank(10, 3)
+        with pytest.raises(CounterError):
+            bank.bulk_add([0, 1], [0], [1, 1])
+        with pytest.raises(CounterError):
+            bank.add(10, 0)
+        with pytest.raises(CounterError):
+            bank.add(0, 3)
+        with pytest.raises(CounterError):
+            bank.bulk_add([0], [0], [-1])
+
+    def test_bulk_add_grouped_validation(self):
+        bank = ExactCounterBank(10, 3)
+        with pytest.raises(CounterError):  # sites not sorted
+            bank.bulk_add_grouped([1, 0], [0, 0], [1, 1])
+        with pytest.raises(CounterError):  # duplicate (site, counter) pair
+            bank.bulk_add_grouped([0, 0], [2, 2], [1, 1])
+        with pytest.raises(CounterError):  # zero count
+            bank.bulk_add_grouped([0], [0], [0])
+        with pytest.raises(CounterError):  # counter out of range
+            bank.bulk_add_grouped([0], [10], [1])
+
+
+class TestHYZCounterBank:
+    #: Replicate counters per experiment: all counters in one bank receive an
+    #: identical stream, so each is an independent draw of the same protocol.
+    REPLICAS = 400
+
+    def _replicated_bank(self, eps, k, total, *, seed):
+        bank = HYZCounterBank(self.REPLICAS, k, eps, seed=seed)
+        rng = np.random.default_rng(seed + 1)
+        remaining = total
+        all_counters = np.arange(self.REPLICAS)
+        while remaining > 0:
+            chunk = min(remaining, 500)
+            site = int(rng.integers(0, k))
+            bank.bulk_add_site(
+                site, all_counters, np.full(self.REPLICAS, chunk)
+            )
+            remaining -= chunk
+        return bank
+
+    def test_unbiased_within_three_sigma(self):
+        eps, k, total = 0.4, 9, 4_000
+        bank = self._replicated_bank(eps, k, total, seed=42)
+        estimates = bank.estimates()
+        # Var[A] <= (eps * C)^2, so the mean of R replicas deviates from C
+        # by more than 3 * eps * C / sqrt(R) with probability < 0.3%.
+        tolerance = 3.0 * eps * total / np.sqrt(self.REPLICAS)
+        assert abs(estimates.mean() - total) < tolerance
+
+    def test_variance_within_eps_bound(self):
+        eps, k, total = 0.4, 9, 4_000
+        bank = self._replicated_bank(eps, k, total, seed=43)
+        estimates = bank.estimates()
+        # The empirical std of R replicas concentrates below eps * C; allow
+        # 15% estimation slack on top of the bound.
+        assert estimates.std() <= 1.15 * eps * total
+
+    def test_exact_while_counts_small(self):
+        # While p == 1 (count below sqrt(k)/eps) the counter is exact.
+        bank = HYZCounterBank(5, 4, 0.1, seed=7)
+        for site in range(4):
+            bank.bulk_add_site(site, np.arange(5), np.full(5, 3))
+        assert np.array_equal(bank.estimates(), np.full(5, 12.0))
+        assert np.all(bank.report_probabilities == 1.0)
+
+    def test_uses_fewer_messages_than_exact(self):
+        eps, k, total = 0.4, 9, 4_000
+        bank = self._replicated_bank(eps, k, total, seed=44)
+        exact_cost = self.REPLICAS * total
+        assert bank.total_messages < 0.5 * exact_cost
+
+    def test_eps_validation(self):
+        with pytest.raises(CounterError):
+            HYZCounterBank(3, 2, 0.0)
+        with pytest.raises(CounterError):
+            HYZCounterBank(3, 2, 1.0)
+        with pytest.raises(CounterError):
+            HYZCounterBank(3, 2, [0.1, 0.5, 1.5])
+
+
+class TestBulkMatchesReference:
+    def test_bulk_simulation_agrees_with_per_increment_protocol(self):
+        # The skip-ahead bulk simulation and the per-increment reference
+        # must agree statistically: both unbiased, comparable traffic.
+        from repro import HYZCounterBank
+        from repro.counters.reference import ReferenceHYZCounter
+
+        eps, k, total, replicas = 0.5, 4, 800, 120
+        bank = HYZCounterBank(replicas, k, eps, seed=10)
+        per_site = total // k
+        for site in range(k):
+            bank.bulk_add_site(
+                site, np.arange(replicas), np.full(replicas, per_site)
+            )
+        reference_estimates = []
+        reference_messages = []
+        rng = np.random.default_rng(11)
+        for _ in range(replicas):
+            counter = ReferenceHYZCounter(k, eps, seed=rng)
+            for site in range(k):
+                counter.add(site, per_site)
+            reference_estimates.append(counter.estimate())
+            reference_messages.append(counter.message_log.total)
+        tolerance = 3.0 * eps * total / np.sqrt(replicas)
+        assert abs(bank.estimates().mean() - total) < tolerance
+        assert abs(np.mean(reference_estimates) - total) < tolerance
+        bulk_messages = bank.total_messages / replicas
+        assert bulk_messages == pytest.approx(
+            np.mean(reference_messages), rel=0.3
+        )
+
+
+class TestDeterministicCounterBank:
+    def test_sandwich_bounds_hold(self):
+        rng = np.random.default_rng(3)
+        eps, k = 0.25, 6
+        bank = DeterministicCounterBank(30, k, eps)
+        truth = np.zeros(30, dtype=np.int64)
+        for _ in range(8):
+            counter_ids, site_ids, counts = _random_workload(rng, 30, k, 300)
+            bank.bulk_add(counter_ids, site_ids, counts)
+            np.add.at(truth, counter_ids, counts)
+        estimates = bank.estimates()
+        # Keralapura-style guarantee: A <= C <= (1 + eps) * A + k.
+        assert np.all(estimates <= truth)
+        assert np.all(truth <= (1.0 + eps) * estimates + k)
+        lower, upper = bank.guaranteed_bounds()
+        assert np.all(lower <= truth)
+        assert np.all(truth <= upper)
+
+    def test_respects_threshold_growth(self):
+        eps = 0.5
+        bank = DeterministicCounterBank(1, 1, eps)
+        messages = []
+        for _ in range(200):
+            bank.add(0, 0)
+            messages.append(bank.total_messages)
+        # Reports must be geometrically spaced: far fewer messages than
+        # increments, and the counter never drifts beyond the (1+eps) slack.
+        assert bank.total_messages < 30
+        truth = bank.true_totals()[0]
+        assert bank.estimates()[0] <= truth <= (1 + eps) * bank.estimates()[0] + 1
