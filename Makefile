@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench check
+.PHONY: test smoke bench bench-hyz docs-check check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -12,8 +12,16 @@ smoke:
 	    --eval-events 200 --checkpoints 2 --out /tmp/repro_smoke.json
 	$(PYTHON) -m repro.experiments bench --events 2000 --sites 6 \
 	    --repeats 1 --out /tmp/repro_smoke_bench.json
+	$(PYTHON) -m repro.experiments bench-hyz --events 2000 --sites 6 \
+	    --repeats 1 --out /tmp/repro_smoke_bench_hyz.json
 
 bench:
 	$(PYTHON) -m repro.experiments bench --sites 30 --events 20000
 
-check: test smoke
+bench-hyz:
+	$(PYTHON) -m repro.experiments bench-hyz --sites 30 --events 20000
+
+docs-check:
+	$(PYTHON) tools/check_docs.py
+
+check: test smoke docs-check

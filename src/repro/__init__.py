@@ -47,6 +47,7 @@ from repro.experiments import (
     ExperimentResult,
     ExperimentRunner,
     RunResult,
+    benchmark_hyz_engines,
     benchmark_update_strategies,
 )
 from repro.graph import DAG
@@ -91,5 +92,6 @@ __all__ = [
     "ExperimentRunner",
     "ExperimentResult",
     "RunResult",
+    "benchmark_hyz_engines",
     "benchmark_update_strategies",
 ]

@@ -82,6 +82,7 @@ def make_estimator(
     seed=None,
     message_log: MessageLog | None = None,
     counter_backend: str = "hyz",
+    hyz_engine: str = "vectorized",
 ) -> StreamingMLEEstimator:
     """Build a ready-to-run streaming estimator.
 
@@ -106,6 +107,10 @@ def make_estimator(
         ``"hyz"`` (the paper's randomized counter) or ``"deterministic"``
         ((1+eps)-threshold counters, for ablations).  Ignored for
         ``"exact"``.
+    hyz_engine:
+        Span-replay engine for the HYZ bank: ``"vectorized"`` (default) or
+        ``"sequential"`` (the pre-vectorization per-(counter, site) replay,
+        kept for benchmarking).  Ignored for other backends.
     """
     algorithm = algorithm.strip().lower()
     n_sites = check_positive_int(n_sites, "n_sites")
@@ -128,7 +133,8 @@ def make_estimator(
     if counter_backend == "hyz":
         def bank_factory(n_counters: int):
             return HYZCounterBank(
-                n_counters, n_sites, eps_per_counter, seed=rng, message_log=log
+                n_counters, n_sites, eps_per_counter, seed=rng,
+                message_log=log, engine=hyz_engine,
             )
     elif counter_backend == "deterministic":
         def bank_factory(n_counters: int):

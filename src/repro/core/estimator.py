@@ -262,8 +262,13 @@ class StreamingMLEEstimator:
           :meth:`update_batch_masked`).
 
         All strategies hand the banks identical per-site (sorted, unique)
-        aggregates in ascending site order, so they leave every bank —
-        including the RNG-driven HYZ bank — in a byte-identical state.
+        aggregates in ascending site order, so for a fixed bank they leave
+        it in a byte-identical state — including the RNG-driven HYZ bank,
+        whose draw order depends only on the per-site slices it receives.
+        (The HYZ bank's *span-replay engine* is a property of the bank, not
+        of the grouping strategy: different engines consume randomness in
+        different orders and agree statistically instead — see
+        ``docs/hyz-protocol.md`` and ``make_estimator``'s ``hyz_engine``.)
         """
         data, site_ids = self._validate_batch(data, site_ids)
         if data.shape[0] == 0:

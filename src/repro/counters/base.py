@@ -74,6 +74,16 @@ class CounterBank(abc.ABC):
         ``counter_ids`` are unique, sorted, in-range; ``counts`` are the
         positive increment totals.  The simulated protocol decides which
         messages this traffic triggers.
+
+        This is the whole-slice hook of the grouped fast path: every entry
+        point (``bulk_add``, ``bulk_add_site``, ``bulk_add_grouped``) hands
+        a bank one complete site slice at a time, in ascending site order,
+        so implementations may batch work across all counters touched at
+        the site — :class:`~repro.counters.hyz.HYZCounterBank` vectorizes
+        its whole span replay here.  Banks whose state is site-independent
+        can go further and override :meth:`_apply_grouped` to consume the
+        entire multi-site batch at once (see
+        :class:`~repro.counters.exact.ExactCounterBank`).
         """
 
     @abc.abstractmethod

@@ -2,50 +2,27 @@
 
 This is the DISTCOUNTER of Lemma 4: for error parameter ``eps`` it keeps an
 unbiased estimate ``A`` of the true count ``C`` with ``Var[A] <= (eps*C)^2``
-using ``O(sqrt(k)/eps * log T)`` messages.
+using ``O(sqrt(k)/eps * log T)`` messages.  A round starts with a sync that
+makes ``base`` the exact total and sets the per-increment report probability
+``p = min(1, sqrt(k)/(eps*base))``; within a round a site reports its local
+count with probability ``p`` per increment, and the coordinator starts a
+new round when its unbiased estimate reaches ``2 * base``.
 
-Protocol (round-based form)
----------------------------
-* A round starts with a **sync**: the coordinator broadcasts the new round
-  to all sites and every site reports its exact local count
-  (``2k`` messages).  ``base`` is then the exact total and the per-increment
-  report probability becomes ``p = min(1, sqrt(k) / (eps * base))``.
-* Within a round, a site that receives an increment sends its current local
-  count to the coordinator with probability ``p`` (while ``p == 1`` the
-  counter is exact and every increment is a message).
-* The coordinator's estimate is ``sum_i r_i + a * (1 - p) / p`` where
-  ``r_i`` is site ``i``'s last report and ``a`` is the number of sites that
-  have reported *since the round's sync*.  This is exactly unbiased: with
-  ``t_i`` increments at site ``i`` since the sync and ``P0 = (1-p)^{t_i}``,
-  the expected unreported gap is ``(1-p)(1-P0)/p``, while the correction is
-  applied with probability ``1 - P0`` — the two cancel for every ``t_i``,
-  so no steady-state assumption is needed.
-* When the estimate reaches ``2 * base`` the coordinator starts a new round.
+``bulk_add`` never feeds increments one at a time: a span of ``b``
+increments at one site is replayed by sampling the geometric inter-report
+gaps directly, and the replay is *vectorized across counters* — one
+inverse-CDF batch draws every touched counter's first-report gap, spans
+that contain no mid-span round change are finished with pure array updates
+(the doubling condition is checked vectorized via the span's last report),
+and only the rare counters whose span crosses the doubling threshold fall
+back to the sequential per-gap replay.  ``engine="sequential"`` keeps the
+pre-vectorization per-(counter, site) replay for benchmarking.
 
-Within a round, per site, ``Var[c_i - r_i] <= (1-p)/p^2 < 1/p^2``; summing
-over ``k`` independent sites and substituting ``p`` gives
-``Var <= k/p^2 = (eps * base)^2 <= (eps * C)^2``.  Each round sends an
-expected ``p * (increments in round) ~ sqrt(k)/eps`` reports plus ``2k``
-sync messages, and the doubling condition bounds the number of rounds by
-``O(log T)``.
-
-Simulation (skip-ahead)
------------------------
-Feeding streams increment-by-increment is infeasible in Python, so
-``bulk_add`` advances each (counter, site) pair over ``b`` increments by
-sampling the geometric inter-report gaps directly:
-
-* With probability ``(1-p)^b`` the span contains no report — one vectorized
-  Bernoulli draw per touched pair covers this dominant case.
-* Otherwise the first gap is drawn from a geometric distribution truncated
-  at ``b`` (inverse-CDF, conditioned on at least one success), the report is
-  delivered (possibly triggering a round change, which alters ``p`` for the
-  *remaining* increments), and plain geometric draws continue the span.
-
-Rounds only change when a report arrives, so skipping report-free spans is
-exactly distribution-preserving.  ``ReferenceHYZCounter`` replays the same
-protocol one increment at a time; the test suite checks the two agree
-statistically.
+The protocol derivation (unbiasedness, variance bound) and the vectorized
+engine's distribution-preservation argument live in ``docs/hyz-protocol.md``.
+:class:`~repro.counters.reference.ReferenceHYZCounter` replays the protocol
+one increment at a time and serves as the statistical oracle both engines
+are tested against.
 """
 
 from __future__ import annotations
@@ -58,6 +35,9 @@ from repro.counters.base import CounterBank
 from repro.errors import CounterError
 from repro.monitoring.channel import MessageKind
 from repro.utils.rng import as_generator
+
+#: Supported span-replay engines (see the module docstring).
+ENGINES = ("vectorized", "sequential")
 
 
 class HYZCounterBank(CounterBank):
@@ -77,6 +57,13 @@ class HYZCounterBank(CounterBank):
     charge_sync:
         If False, round syncs are not charged to the message log (used in
         ablations isolating report traffic).  Default True.
+    engine:
+        ``"vectorized"`` (default) batches the span replay across all
+        counters touched at a site; ``"sequential"`` replays each
+        (counter, site) span in a Python loop.  Both engines simulate the
+        identical protocol distribution but consume the RNG stream in
+        different orders, so their outputs agree statistically, not
+        byte-for-byte (see ``docs/hyz-protocol.md``).
     """
 
     def __init__(
@@ -88,6 +75,7 @@ class HYZCounterBank(CounterBank):
         seed=None,
         message_log=None,
         charge_sync: bool = True,
+        engine: str = "vectorized",
     ) -> None:
         super().__init__(n_counters, n_sites, message_log=message_log)
         eps_arr = np.broadcast_to(
@@ -95,7 +83,12 @@ class HYZCounterBank(CounterBank):
         ).copy()
         if np.any(eps_arr <= 0) or np.any(eps_arr >= 1):
             raise CounterError("eps must lie in (0, 1) for every counter")
+        if engine not in ENGINES:
+            raise CounterError(
+                f"unknown HYZ engine {engine!r}; expected one of {ENGINES}"
+            )
         self.eps = eps_arr
+        self.engine = engine
         self._rng = as_generator(seed)
         self.charge_sync = bool(charge_sync)
         k = self.n_sites
@@ -105,7 +98,7 @@ class HYZCounterBank(CounterBank):
         # reported since the current round's sync: only those sites' counts
         # carry the (1-p)/p geometric-gap correction (silent sites stand at
         # their exact sync value), which makes the estimator exactly
-        # unbiased — see the estimator derivation in the module docstring.
+        # unbiased — see docs/hyz-protocol.md for the derivation.
         self._reported = np.zeros((self.n_counters, k), dtype=np.int64)
         self._reported_sum = np.zeros(self.n_counters, dtype=np.int64)
         self._round_reported = np.zeros((self.n_counters, k), dtype=bool)
@@ -152,8 +145,7 @@ class HYZCounterBank(CounterBank):
             # the exact counts) every site answers with its local count.
             self.message_log.record_broadcast_all()
             if old_p < 1.0:
-                for site in range(self.n_sites):
-                    self.message_log.record(MessageKind.SYNC, site)
+                self.message_log.record_syncs_all()
 
     def _maybe_advance(self, c: int) -> None:
         # A single advance suffices: after the sync the estimate equals the
@@ -162,7 +154,7 @@ class HYZCounterBank(CounterBank):
             self._advance_round(c)
 
     # ------------------------------------------------------------------
-    # Site-side simulation
+    # Site-side simulation — shared sequential building blocks
     # ------------------------------------------------------------------
     def _deliver_report(self, c: int, site: int) -> None:
         """Site ``site`` sends its current local count for counter ``c``."""
@@ -191,8 +183,8 @@ class HYZCounterBank(CounterBank):
         """Advance counter ``c`` at ``site`` over ``b`` increments, p < 1.
 
         ``first_report_known`` marks that the caller already determined (via
-        the vectorized Bernoulli pre-filter) that at least one report occurs
-        in the span *at the entry probability*; the first gap is then drawn
+        a report-existence pre-filter) that at least one report occurs in
+        the span *at the entry probability*; the first gap is then drawn
         from the truncated geometric.
         """
         remaining = b
@@ -223,28 +215,59 @@ class HYZCounterBank(CounterBank):
         exactly; round changes mid-span switch the counter into sampling
         mode for the rest of the span.
         """
+        remaining = self._exact_prefix(c, site, b)
+        if remaining > 0:
+            # Fell out of exact mode mid-span; continue with sampling.
+            self._run_sampling_span(c, site, remaining, first_report_known=False)
+
+    def _exact_prefix(self, c: int, site: int, b: int) -> int:
+        """Consume the exact-mode (p == 1) prefix of a ``b``-increment span.
+
+        Returns the number of increments left over once the counter falls
+        out of exact mode (0 when the whole span was consumed exactly).
+        The exact phase needs no randomness: reports are deterministic and
+        the round bases follow the deterministic doubling sequence.
+        """
         remaining = b
         while remaining > 0 and self._p[c] >= 1.0:
             # Increments until the doubling condition triggers.
             room = int(math.ceil(2.0 * self._round_base[c] - self._reported_sum[c]))
-            step = min(remaining, max(room, 1))
+            if room <= 0:
+                # The doubling condition already holds at span entry (the
+                # estimate equals the reported sum in exact mode): resolve
+                # the round change before consuming any increments, instead
+                # of over-stepping by a forced minimum step of 1.
+                self._advance_round(c)
+                continue
+            step = min(remaining, room)
             self._local[c, site] += step
             self._reported[c, site] += step
             self._reported_sum[c] += step
             self.message_log.record(MessageKind.REPORT, site, step)
             remaining -= step
             self._maybe_advance(c)
-        if remaining > 0:
-            # Fell out of exact mode mid-span; continue with sampling.
-            self._run_sampling_span(c, site, remaining, first_report_known=False)
+        return remaining
 
     # ------------------------------------------------------------------
-    # `bulk_add_grouped` (the estimator's argsort fast path) is inherited
-    # from CounterBank: it dispatches each site's slice to `_apply_site` in
-    # ascending site order, which consumes this bank's RNG stream in exactly
-    # the same order as the legacy per-site-mask path — a property the
-    # hot-path regression test pins byte-for-byte.
+    # Engine dispatch
+    # ------------------------------------------------------------------
+    # `bulk_add_grouped` (the estimator's sharded fast path) is inherited
+    # from CounterBank: it hands each site's whole (counter, count) slice to
+    # `_apply_site` in ascending site order.  Every grouping strategy
+    # delivers identical slices in identical order, so for a fixed engine
+    # all strategies consume this bank's RNG stream identically — the
+    # hot-path regression test pins that byte-for-byte.  Across *engines*
+    # the RNG contract differs; see docs/hyz-protocol.md.
     def _apply_site(self, site, counter_ids, counts) -> None:
+        if self.engine == "sequential":
+            self._apply_site_sequential(site, counter_ids, counts)
+        else:
+            self._apply_site_vectorized(site, counter_ids, counts)
+
+    # ------------------------------------------------------------------
+    # Sequential engine (pre-vectorization reference, kept for benchmarks)
+    # ------------------------------------------------------------------
+    def _apply_site_sequential(self, site, counter_ids, counts) -> None:
         p_touched = self._p[counter_ids]
         exact_mask = p_touched >= 1.0
         # Exact-mode counters: every increment is a message.
@@ -268,6 +291,267 @@ class HYZCounterBank(CounterBank):
             self._run_sampling_span(
                 int(c), site, int(b), first_report_known=True
             )
+
+    # ------------------------------------------------------------------
+    # Vectorized engine
+    # ------------------------------------------------------------------
+    def _apply_site_vectorized(self, site, counter_ids, counts) -> None:
+        """Advance every counter touched at ``site`` with batched draws.
+
+        Distribution-preservation argument (full version in
+        ``docs/hyz-protocol.md``): within one span the report probability
+        ``p`` and the doubling threshold are constant until a round change,
+        and the coordinator estimate after a report is strictly increasing
+        in the report's position.  Hence (i) a span triggers a round change
+        iff a report lands at or beyond a fixed threshold position ``L*``,
+        and (ii) for trigger-free spans the final bank state depends only on
+        the span's *last* report position while the message tally depends
+        only on the report *count* — both samplable directly.  Counters are
+        independent, so every draw batches across the site's worklist:
+
+        1. one inverse-CDF batch draws every counter's first-report gap
+           (gap > span length  <=>  the span is silent);
+        2. a trailing-gap batch yields each reporting span's last report
+           position; spans whose last report stays below ``L*`` finish with
+           pure array updates plus one binomial batch for the interior
+           report count;
+        3. spans that reach ``L*`` replay their pre-trigger traffic as a
+           binomial batch (those reports are wiped by the sync, only their
+           message count survives), place the triggering report with a
+           truncated-geometric batch, advance all their rounds in bulk,
+           and re-enter the loop with the span remainder at the new ``p``
+           — one iteration per round generation, so a span crossing ``r``
+           rounds costs ``O(r)`` vectorized passes, never a Python loop
+           over reports.
+        """
+        p_touched = self._p[counter_ids]
+        exact_mask = p_touched >= 1.0
+        ids = counter_ids[~exact_mask]
+        b = counts[~exact_mask].astype(np.int64)
+        if exact_mask.any():
+            # Exact-mode counters are transient (a counter leaves exact
+            # mode for good once its count reaches sqrt(k)/eps); their
+            # prefix is deterministic — no randomness — so it advances in
+            # bulk too, and any sampled leftover joins the worklist.
+            leftover_ids, leftover_b = self._exact_prefix_bulk(
+                site,
+                counter_ids[exact_mask],
+                counts[exact_mask].astype(np.int64),
+            )
+            if leftover_ids.size:
+                ids = np.concatenate([ids, leftover_ids])
+                b = np.concatenate([b, leftover_b])
+                order = np.argsort(ids, kind="stable")
+                ids, b = ids[order], b[order]
+        while ids.size:
+            ids, b = self._vector_round(site, ids, b)
+
+    def _exact_prefix_bulk(
+        self, site: int, ids: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`_exact_prefix` over a site's exact-mode slice.
+
+        The exact phase is deterministic (every increment reports, rounds
+        advance at fixed doubling thresholds), so each pass steps every
+        active counter to its next threshold at once; a counter needs
+        O(log span) passes.  Returns the (counter, remaining) pairs that
+        fell out of exact mode mid-span.
+        """
+        ids = ids.astype(np.int64, copy=True)
+        rem = b.copy()
+        out_ids: list[np.ndarray] = []
+        out_b: list[np.ndarray] = []
+        while ids.size:
+            room = np.ceil(
+                2.0 * self._round_base[ids]
+                - self._reported_sum[ids].astype(np.float64)
+            ).astype(np.int64)
+            stuck = room <= 0
+            if stuck.any():
+                # Doubling condition already met at pass entry (same guard
+                # as _exact_prefix): advance before consuming increments.
+                self._advance_rounds_bulk(ids[stuck])
+                fell = self._p[ids] < 1.0
+                if fell.any():
+                    out_ids.append(ids[fell])
+                    out_b.append(rem[fell])
+                    ids, rem = ids[~fell], rem[~fell]
+                continue
+            step = np.minimum(rem, room)
+            self._local[ids, site] += step
+            self._reported[ids, site] += step
+            self._reported_sum[ids] += step
+            self.message_log.record(MessageKind.REPORT, site, int(step.sum()))
+            rem -= step
+            crossed = (
+                self._reported_sum[ids].astype(np.float64)
+                >= 2.0 * self._round_base[ids]
+            )
+            if crossed.any():
+                self._advance_rounds_bulk(ids[crossed])
+            fell = (self._p[ids] < 1.0) & (rem > 0)
+            if fell.any():
+                out_ids.append(ids[fell])
+                out_b.append(rem[fell])
+            cont = ~fell & (rem > 0)
+            ids, rem = ids[cont], rem[cont]
+        empty = np.empty(0, dtype=np.int64)
+        return (
+            np.concatenate(out_ids) if out_ids else empty,
+            np.concatenate(out_b) if out_b else empty,
+        )
+
+    def _vector_round(
+        self, site: int, ids: np.ndarray, b: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One vectorized pass over sampling-mode spans at one site.
+
+        Completes every span that stays within its counter's current round
+        and returns the worklist of (counter, remaining-increments) spans
+        whose round advanced mid-span.  All entries have ``p < 1``.
+        """
+        empty = np.empty(0, dtype=np.int64)
+        p = self._p[ids]
+        log_q = np.log1p(-p)  # log(1 - p) < 0
+
+        # --- (1) first-report gaps, one inverse-CDF batch ----------------
+        u1 = self._rng.random(ids.size)
+        g1 = np.floor(np.log1p(-u1) / log_q).astype(np.int64) + 1
+        reporting = g1 <= b
+        if not reporting.all():
+            silent_ids = ids[~reporting]
+            self._local[silent_ids, site] += b[~reporting]
+            if not reporting.any():
+                return empty, empty
+        ids_r = ids[reporting]
+        b_r = b[reporting]
+        g1_r = g1[reporting]
+        p_r = p[reporting]
+        log_q_r = log_q[reporting]
+
+        # --- doubling-threshold position L* per reporting counter --------
+        # Mirrors _estimate_one exactly: after the first report the
+        # estimate at a report delivered x increments into the span is
+        #   est(x) = float(reported_sum - old_reported + old_local + x)
+        #            + cnt' * (1 - p) / p
+        # with cnt' including this site's first-report activation bump.
+        old_local = self._local[ids_r, site]
+        old_rep = self._reported[ids_r, site]
+        newly = ~self._round_reported[ids_r, site]
+        cnt = self._round_reported_count[ids_r] + newly
+        corr = cnt * (1.0 - p_r) / p_r
+        base2 = 2.0 * self._round_base[ids_r]
+        i0 = self._reported_sum[ids_r] - old_rep + old_local
+        l_star = np.ceil(base2 - corr - i0).astype(np.int64)
+        # The float seed above can be off by one ulp-step; nudge to the
+        # exact minimal integer x with est(x) >= 2 * base.
+        for _ in range(2):
+            over = (i0 + l_star - 1).astype(np.float64) + corr >= base2
+            l_star = np.where(over, l_star - 1, l_star)
+        for _ in range(2):
+            under = (i0 + l_star).astype(np.float64) + corr < base2
+            l_star = np.where(under, l_star + 1, l_star)
+
+        # Spans whose *first* report already trips the condition advance
+        # immediately; the others draw their last report position.
+        early = l_star <= g1_r
+        nonearly = np.flatnonzero(~early)
+
+        # --- (2) last report position via one trailing-gap batch ---------
+        last_pos = np.zeros(ids_r.size, dtype=np.int64)
+        trigger = np.zeros(ids_r.size, dtype=bool)
+        if nonearly.size:
+            rem = b_r[nonearly] - g1_r[nonearly]
+            u2 = self._rng.random(nonearly.size)
+            g2 = np.floor(np.log1p(-u2) / log_q_r[nonearly]).astype(
+                np.int64
+            ) + 1
+            trail = np.minimum(g2 - 1, rem)
+            last_pos[nonearly] = b_r[nonearly] - trail
+            trigger[nonearly] = last_pos[nonearly] >= l_star[nonearly]
+        clean = np.flatnonzero(~early & ~trigger)
+
+        # --- trigger-free spans: pure array completion --------------------
+        if clean.size:
+            ids_c = ids_r[clean]
+            l_c = last_pos[clean]
+            n_mid = np.maximum(l_c - g1_r[clean] - 1, 0)
+            mid = self._rng.binomial(n_mid, p_r[clean])
+            n_reports = 1 + (l_c > g1_r[clean]).astype(np.int64) + mid
+            self._local[ids_c, site] = old_local[clean] + b_r[clean]
+            new_rep = old_local[clean] + l_c
+            self._reported_sum[ids_c] += new_rep - old_rep[clean]
+            self._reported[ids_c, site] = new_rep
+            self._round_reported_count[ids_c] += newly[clean]
+            self._round_reported[ids_c, site] = True
+            self.message_log.record(
+                MessageKind.REPORT, site, int(n_reports.sum())
+            )
+
+        # --- (3) round-changing spans, advanced in bulk -------------------
+        early_idx = np.flatnonzero(early)
+        trig_idx = np.flatnonzero(trigger)
+        if early_idx.size == 0 and trig_idx.size == 0:
+            return empty, empty
+        # Early spans: the first report itself trips the condition.  Its
+        # state update is wiped by the sync below, so only the increment
+        # prefix and the single report message survive.
+        n_reports_special = early_idx.size
+        if early_idx.size:
+            self._local[ids_r[early_idx], site] += g1_r[early_idx]
+        # Triggering spans: reports strictly before L* cannot trigger and
+        # are wiped by the sync — a binomial batch counts their messages.
+        # The triggering report is the first one at or beyond L*, a
+        # truncated geometric over [L*, b] (its existence is exactly the
+        # event last_pos >= L* already observed).
+        if trig_idx.size:
+            ls = l_star[trig_idx]
+            gt = g1_r[trig_idx]
+            pt = p_r[trig_idx]
+            pre = self._rng.binomial(np.maximum(ls - gt - 1, 0), pt)
+            limit = b_r[trig_idx] - ls + 1
+            u3 = self._rng.random(trig_idx.size)
+            tail = np.exp(limit * np.log1p(-pt))  # (1-p)^limit
+            g3 = np.ceil(
+                np.log1p(-u3 * (1.0 - tail)) / np.log1p(-pt)
+            ).astype(np.int64)
+            m_pos = ls - 1 + np.clip(g3, 1, limit)
+            self._local[ids_r[trig_idx], site] += m_pos
+            n_reports_special += int(pre.sum()) + 2 * trig_idx.size
+        self.message_log.record(MessageKind.REPORT, site, n_reports_special)
+        special = np.concatenate([early_idx, trig_idx])
+        self._advance_rounds_bulk(ids_r[special])
+        # Remainders re-enter the loop as fresh spans at the new p.
+        consumed = np.concatenate(
+            [g1_r[early_idx], m_pos if trig_idx.size else empty]
+        )
+        next_b = b_r[special] - consumed
+        keep = next_b > 0
+        next_ids = ids_r[special][keep]
+        next_b = next_b[keep]
+        order = np.argsort(next_ids, kind="stable")
+        return next_ids[order], next_b[order]
+
+    def _advance_rounds_bulk(self, cs: np.ndarray) -> None:
+        """Vectorized :meth:`_advance_round` over unique counters ``cs``."""
+        if cs.size == 0:
+            return
+        self._reported[cs, :] = self._local[cs, :]
+        sums = self._local[cs, :].sum(axis=1)
+        self._reported_sum[cs] = sums
+        self._round_reported[cs, :] = False
+        self._round_reported_count[cs] = 0
+        self._round_base[cs] = np.maximum(sums.astype(np.float64), 1.0)
+        old_p = self._p[cs].copy()
+        self._p[cs] = np.minimum(
+            1.0, self._sqrt_k / (self.eps[cs] * self._round_base[cs])
+        )
+        self._rounds_started[cs] += 1
+        if self.charge_sync:
+            self.message_log.record_broadcast_all(cs.size)
+            n_sync = int((old_p < 1.0).sum())
+            if n_sync:
+                self.message_log.record_syncs_all(n_sync)
 
     # ------------------------------------------------------------------
     # Diagnostics

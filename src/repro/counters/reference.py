@@ -2,10 +2,13 @@
 
 This mirrors :class:`~repro.counters.hyz.HYZCounterBank`'s protocol exactly
 but processes one increment at a time with an explicit Bernoulli coin per
-increment — no skip-ahead, no vectorization.  It exists so the test suite
-can check that the fast bulk simulation matches the protocol's true
-per-increment behaviour (estimates unbiased with the same variance, message
-counts with the same distribution).
+increment — no skip-ahead, no vectorization.  It is the *statistical
+oracle* for both of the bank's span-replay engines: the engines consume
+randomness in different orders, so correctness is defined as agreement
+with this class's per-increment behaviour in distribution (unbiased
+estimates with the same variance, message counts with the same
+expectation), never as byte equality.  See ``docs/hyz-protocol.md`` for
+the agreement argument and ``tests/test_hyz_engine.py`` for the checks.
 """
 
 from __future__ import annotations

@@ -11,7 +11,10 @@
   subcommand per figure family.
 """
 
-from repro.experiments.bench import benchmark_update_strategies
+from repro.experiments.bench import (
+    benchmark_hyz_engines,
+    benchmark_update_strategies,
+)
 from repro.experiments.results import (
     SCHEMA,
     CheckpointRecord,
@@ -32,5 +35,6 @@ __all__ = [
     "ExperimentRunner",
     "checkpoint_schedule",
     "make_partitioner",
+    "benchmark_hyz_engines",
     "benchmark_update_strategies",
 ]

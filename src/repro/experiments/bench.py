@@ -7,6 +7,14 @@ and the dense keyed-histogram fast paths that feed
 ``CounterBank.bulk_add_grouped``.  It also asserts that every strategy
 leaves the counter bank byte-identical, so a reported speedup can never
 come from diverging semantics.
+
+``benchmark_hyz_engines`` times the HYZ bank's span-replay engines
+(sequential per-(counter, site) replay vs the vectorized worklist engine)
+on a full stream ingest.  The engines consume randomness in different
+orders, so instead of byte equality it cross-checks the protocol
+observables statistically: identical ground-truth totals, message counts
+within a tight relative band, and mean estimate error within a
+cross-engine band.
 """
 
 from __future__ import annotations
@@ -24,6 +32,9 @@ from repro.utils.validation import check_positive_int
 
 #: Strategies timed by default, legacy baseline first.
 STRATEGIES = ("masked", "argsort", "dense")
+
+#: HYZ engines timed by default, legacy baseline first.
+HYZ_ENGINES = ("sequential", "vectorized")
 
 
 def benchmark_update_strategies(
@@ -110,5 +121,117 @@ def benchmark_update_strategies(
         "n_events": n_events,
         "repeats": repeats,
         "states_identical": True,
+        "results": results,
+    }
+
+
+def benchmark_hyz_engines(
+    network="alarm",
+    *,
+    algorithm: str = "nonuniform",
+    eps: float = 0.1,
+    n_sites: int = 30,
+    n_events: int = 20_000,
+    repeats: int = 3,
+    seed: int = 0,
+    engines=HYZ_ENGINES,
+) -> dict:
+    """Time a full stream ingest through each HYZ span-replay engine.
+
+    Unlike :func:`benchmark_update_strategies` (which re-feeds a warm
+    estimator), every repeat here ingests the batch into a *fresh*
+    estimator, so the timing covers the realistic cold path: the exact-mode
+    prefix, the exact-to-sampling transition, and the round doublings along
+    the stream.  The per-engine time is the minimum over repeats.
+
+    The engines consume the RNG stream in different orders (see
+    ``docs/hyz-protocol.md``), so they are cross-checked statistically
+    rather than byte-for-byte: ground-truth site counts must be identical,
+    total message counts must agree within 10%, and every engine's mean
+    relative estimate error must sit inside a band around the baseline
+    engine's (the deeper distributional checks live in
+    ``tests/test_hyz_engine.py``).
+    """
+    check_positive_int(repeats, "repeats")
+    net = network_by_name(network) if isinstance(network, str) else network
+    source = RandomSource(seed)
+    data = ForwardSampler(net, seed=source.generator()).sample(n_events)
+    sites = UniformPartitioner(n_sites, seed=source.generator()).assign(n_events)
+
+    timings: dict[str, float] = {}
+    truths: dict[str, np.ndarray] = {}
+    messages: dict[str, int] = {}
+    mean_rel_err: dict[str, float] = {}
+    for engine in engines:
+        best = float("inf")
+        for _ in range(repeats):
+            estimator = make_estimator(
+                net, algorithm, eps=eps, n_sites=n_sites, seed=seed + 1,
+                hyz_engine=engine,
+            )
+            t0 = time.perf_counter()
+            estimator.update_batch(data, sites)
+            best = min(best, time.perf_counter() - t0)
+        timings[engine] = best
+        truths[engine] = estimator.bank.true_totals()
+        messages[engine] = estimator.total_messages
+        bank = estimator.bank
+        nonzero = truths[engine] > 0
+        rel = np.abs(bank.estimates() - truths[engine]) / np.maximum(
+            truths[engine], 1.0
+        )
+        mean_rel_err[engine] = float(rel[nonzero].mean())
+
+    baseline = engines[0]
+    for engine in engines[1:]:
+        if not np.array_equal(truths[baseline], truths[engine]):
+            raise AssertionError(
+                f"engine {engine!r} diverged from {baseline!r}: ground-truth "
+                "counts differ"
+            )
+        lo, hi = sorted((messages[baseline], messages[engine]))
+        if lo == 0 or hi / lo > 1.10:
+            raise AssertionError(
+                f"engine {engine!r} message count {messages[engine]} "
+                f"deviates more than 10% from {baseline!r} "
+                f"({messages[baseline]})"
+            )
+        # Aggregate accuracy guard: both engines realize the same protocol,
+        # so their mean relative error across counters must be of the same
+        # magnitude (generous 2x band plus a small absolute floor for
+        # near-exact runs) — a wrong threshold or correction term in one
+        # engine inflates its error without touching truths or traffic.
+        band = max(2.0 * mean_rel_err[baseline], 0.05)
+        if mean_rel_err[engine] > band:
+            raise AssertionError(
+                f"engine {engine!r} mean relative error "
+                f"{mean_rel_err[engine]:.4f} exceeds the {baseline!r} "
+                f"band {band:.4f}"
+            )
+
+    results = []
+    for engine in engines:
+        entry = {
+            "engine": engine,
+            "ms_per_ingest": timings[engine] * 1e3,
+            "events_per_second": n_events / timings[engine],
+            "total_messages": messages[engine],
+            "mean_relative_error": mean_rel_err[engine],
+        }
+        if engine != baseline:
+            entry[f"speedup_vs_{baseline}"] = (
+                timings[baseline] / timings[engine]
+            )
+        results.append(entry)
+    return {
+        "benchmark": "hyz-engines",
+        "baseline_engine": baseline,
+        "network": net.name,
+        "algorithm": algorithm,
+        "eps": eps,
+        "n_sites": n_sites,
+        "n_events": n_events,
+        "repeats": repeats,
+        "messages_consistent": True,
         "results": results,
     }

@@ -8,6 +8,7 @@ One subcommand per figure family of Zhang, Tirthapura & Cormode (ICDE 2018):
 - ``accuracy``  — estimate accuracy vs stream length (Fig. 7's metric).
 - ``runtime``   — modeled cluster runtime/throughput (Figs. 7-8).
 - ``bench``     — microbenchmark of the update_batch grouping strategies.
+- ``bench-hyz`` — microbenchmark of the HYZ span-replay engines.
 
 Each subcommand prints an aligned summary table to stderr and writes a
 ``BENCH_*.json``-style document to ``--out`` (stdout by default).
@@ -20,7 +21,10 @@ import json
 import sys
 
 from repro.core.algorithms import ALGORITHMS
-from repro.experiments.bench import benchmark_update_strategies
+from repro.experiments.bench import (
+    benchmark_hyz_engines,
+    benchmark_update_strategies,
+)
 from repro.experiments.runner import ExperimentRunner
 from repro.utils.tabletext import format_table
 
@@ -174,6 +178,18 @@ def main(argv=None) -> int:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--out", default=None)
 
+    p_bench_hyz = sub.add_parser(
+        "bench-hyz", help="microbenchmark the HYZ span-replay engines"
+    )
+    p_bench_hyz.add_argument("--network", default="alarm")
+    p_bench_hyz.add_argument("--algorithm", default="nonuniform")
+    p_bench_hyz.add_argument("--eps", type=float, default=0.1)
+    p_bench_hyz.add_argument("--sites", type=int, default=30)
+    p_bench_hyz.add_argument("--events", type=int, default=20_000)
+    p_bench_hyz.add_argument("--repeats", type=int, default=3)
+    p_bench_hyz.add_argument("--seed", type=int, default=0)
+    p_bench_hyz.add_argument("--out", default=None)
+
     args = parser.parse_args(argv)
 
     if args.command == "messages":
@@ -212,6 +228,33 @@ def main(argv=None) -> int:
                 ["strategy", "ms/batch", f"speedup-vs-{baseline}"], rows,
                 title=f"update_batch microbenchmark "
                       f"(k={args.sites}, m={args.events})",
+            ),
+        )
+        return 0
+    if args.command == "bench-hyz":
+        document = benchmark_hyz_engines(
+            args.network,
+            algorithm=args.algorithm,
+            eps=args.eps,
+            n_sites=args.sites,
+            n_events=args.events,
+            repeats=args.repeats,
+            seed=args.seed,
+        )
+        baseline = document["baseline_engine"]
+        rows = [
+            [r["engine"], r["ms_per_ingest"], r["total_messages"],
+             r.get(f"speedup_vs_{baseline}", "-")]
+            for r in document["results"]
+        ]
+        _emit(
+            document, args.out,
+            summary=format_table(
+                ["engine", "ms/ingest", "messages",
+                 f"speedup-vs-{baseline}"], rows,
+                title=f"HYZ engine microbenchmark "
+                      f"(k={args.sites}, m={args.events}, "
+                      f"algorithm={args.algorithm})",
             ),
         )
         return 0

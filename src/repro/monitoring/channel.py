@@ -72,6 +72,18 @@ class MessageLog:
         self._per_kind[MessageKind.BROADCAST] += count * self.n_sites
         self._coordinator_sent += count * self.n_sites
 
+    def record_syncs_all(self, count: int = 1) -> None:
+        """Record ``count`` round-sync answers from every site.
+
+        Equivalent to ``count`` :meth:`record` calls of
+        :attr:`MessageKind.SYNC` per site (``count * k`` messages total);
+        used by the counter banks' bulk round advances.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._per_kind[MessageKind.SYNC] += count * self.n_sites
+        self._per_site += count
+
     def record_reports_bulk(self, sites: np.ndarray, counts: np.ndarray) -> None:
         """Vectorized :meth:`record` for REPORT messages."""
         sites = np.asarray(sites, dtype=np.int64)

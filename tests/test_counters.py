@@ -126,6 +126,27 @@ class TestHYZCounterBank:
         with pytest.raises(CounterError):
             HYZCounterBank(3, 2, [0.1, 0.5, 1.5])
 
+    @pytest.mark.parametrize("engine", ["sequential", "vectorized"])
+    def test_exact_span_entered_past_doubling_threshold(self, engine):
+        # Regression: when an exact-mode span starts with the doubling
+        # condition already met (reported_sum >= 2 * base), the round must
+        # advance *before* any increment is consumed.  The old code clamped
+        # the step to max(room, 1) and silently over-stepped, folding the
+        # new increment into the pre-advance round.  The state below cannot
+        # arise through the public API (advances are eager), so it is
+        # constructed directly.
+        bank = HYZCounterBank(1, 2, 0.1, seed=0, engine=engine)
+        bank._local[0, 0] = 10
+        bank._reported[0, 0] = 10
+        bank._reported_sum[0] = 10
+        # _round_base is still 1.0, so the condition 10 >= 2 already holds.
+        bank.bulk_add_site(0, np.array([0]), np.array([1]))
+        # The advance must have synced at base 10 (the pre-span total), not
+        # at 11 (the total after the over-step), and exactly once.
+        assert bank._round_base[0] == 10.0
+        assert bank.rounds_started[0] == 1
+        assert bank.true_totals()[0] == 11
+
 
 class TestBulkMatchesReference:
     def test_bulk_simulation_agrees_with_per_increment_protocol(self):

@@ -156,3 +156,16 @@ class TestCLI:
         document = json.loads(out.read_text())
         assert document["states_identical"] is True
         assert [r["strategy"] for r in document["results"]][0] == "masked"
+
+    def test_bench_hyz_subcommand(self, tmp_path):
+        out = tmp_path / "hyz.json"
+        rc = main([
+            "bench-hyz", "--events", "1200", "--sites", "5", "--eps", "0.2",
+            "--repeats", "1", "--out", str(out),
+        ])
+        assert rc == 0
+        document = json.loads(out.read_text())
+        assert document["benchmark"] == "hyz-engines"
+        engines = [r["engine"] for r in document["results"]]
+        assert engines == ["sequential", "vectorized"]
+        assert document["results"][1]["speedup_vs_sequential"] > 0

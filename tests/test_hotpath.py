@@ -11,6 +11,7 @@ import pytest
 from repro import (
     ForwardSampler,
     UniformPartitioner,
+    benchmark_hyz_engines,
     benchmark_update_strategies,
     make_estimator,
 )
@@ -87,3 +88,18 @@ def test_benchmark_verifies_and_reports_speedup(alarm_net):
     assert {"argsort", "dense"} <= set(strategies)
     for entry in document["results"][1:]:
         assert entry["speedup_vs_masked"] > 0
+
+
+def test_hyz_engine_benchmark_cross_checks_and_reports(alarm_net):
+    document = benchmark_hyz_engines(
+        alarm_net, algorithm="nonuniform", eps=0.2, n_sites=6,
+        n_events=2_000, repeats=1, seed=0,
+    )
+    assert document["messages_consistent"] is True
+    engines = [entry["engine"] for entry in document["results"]]
+    assert engines == ["sequential", "vectorized"]
+    assert document["results"][1]["speedup_vs_sequential"] > 0
+    for entry in document["results"]:
+        assert entry["total_messages"] > 0
+        # Estimates stay usable: aggregate relative error well under 100%.
+        assert entry["mean_relative_error"] < 0.5

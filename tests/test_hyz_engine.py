@@ -1,0 +1,198 @@
+"""Tests for the HYZ span-replay engines.
+
+The vectorized engine and the sequential engine consume the RNG stream in
+different orders, so the contract is *self-consistency* (same seed, same
+workload -> byte-identical results per engine) plus *statistical agreement*
+with :class:`~repro.counters.reference.ReferenceHYZCounter`, the
+per-increment oracle — see ``docs/hyz-protocol.md``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import HYZCounterBank, make_estimator
+from repro.counters.reference import ReferenceHYZCounter
+from repro.errors import CounterError
+
+ENGINES = ("vectorized", "sequential")
+
+
+def _ragged_spans(rng, k, n_spans, max_count=50):
+    """A shared (site, count) workload replayed into every replica."""
+    return [
+        (int(rng.integers(0, k)), int(rng.integers(1, max_count)))
+        for _ in range(n_spans)
+    ]
+
+
+def _replicated_bank(engine, spans, *, replicas, k, eps, seed):
+    bank = HYZCounterBank(replicas, k, eps, seed=seed, engine=engine)
+    ids = np.arange(replicas)
+    for site, count in spans:
+        bank.bulk_add_site(site, ids, np.full(replicas, count))
+    return bank
+
+
+class TestEngineValidation:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(CounterError):
+            HYZCounterBank(3, 2, 0.5, engine="turbo")
+
+    def test_engine_exposed(self):
+        assert HYZCounterBank(3, 2, 0.5).engine == "vectorized"
+        assert (
+            HYZCounterBank(3, 2, 0.5, engine="sequential").engine
+            == "sequential"
+        )
+
+
+class TestVectorizedEngineAgreement:
+    REPLICAS = 300
+
+    def test_estimates_agree_with_reference_within_three_sigma(self):
+        eps, k = 0.5, 5
+        rng = np.random.default_rng(7)
+        spans = _ragged_spans(rng, k, 100)
+        total = sum(count for _, count in spans)
+        bank = _replicated_bank(
+            "vectorized", spans, replicas=self.REPLICAS, k=k, eps=eps, seed=99
+        )
+        assert np.all(bank.true_totals() == total)
+
+        ref_rng = np.random.default_rng(100)
+        reference = []
+        for _ in range(self.REPLICAS):
+            counter = ReferenceHYZCounter(k, eps, seed=ref_rng)
+            for site, count in spans:
+                counter.add(site, count)
+            reference.append(counter.estimate())
+
+        # Var[A] <= (eps * C)^2 bounds how far each *mean of R replicas* can
+        # sit from its own expectation; both simulations realize the same
+        # protocol, so their means must land within the combined 3-sigma
+        # band of each other.
+        tolerance = 2.0 * 3.0 * eps * total / np.sqrt(self.REPLICAS)
+        assert abs(bank.estimates().mean() - np.mean(reference)) < tolerance
+
+    def test_message_counts_agree_with_reference_in_expectation(self):
+        eps, k = 0.5, 5
+        rng = np.random.default_rng(8)
+        spans = _ragged_spans(rng, k, 80)
+        bank = _replicated_bank(
+            "vectorized", spans, replicas=self.REPLICAS, k=k, eps=eps, seed=21
+        )
+        ref_rng = np.random.default_rng(22)
+        reference_messages = []
+        for _ in range(self.REPLICAS):
+            counter = ReferenceHYZCounter(k, eps, seed=ref_rng)
+            for site, count in spans:
+                counter.add(site, count)
+            reference_messages.append(counter.message_log.total)
+        per_replica = bank.total_messages / self.REPLICAS
+        assert per_replica == pytest.approx(
+            np.mean(reference_messages), rel=0.15
+        )
+
+    def test_engines_agree_with_each_other(self):
+        eps, k = 0.4, 9
+        rng = np.random.default_rng(9)
+        spans = _ragged_spans(rng, k, 60, max_count=300)
+        total = sum(count for _, count in spans)
+        banks = {
+            engine: _replicated_bank(
+                engine, spans, replicas=self.REPLICAS, k=k, eps=eps, seed=5
+            )
+            for engine in ENGINES
+        }
+        means = {e: b.estimates().mean() for e, b in banks.items()}
+        tolerance = 2.0 * 3.0 * eps * total / np.sqrt(self.REPLICAS)
+        assert abs(means["vectorized"] - means["sequential"]) < tolerance
+        msgs = {e: b.total_messages for e, b in banks.items()}
+        assert msgs["vectorized"] == pytest.approx(
+            msgs["sequential"], rel=0.10
+        )
+        rounds = {e: b.rounds_started.mean() for e, b in banks.items()}
+        assert rounds["vectorized"] == pytest.approx(
+            rounds["sequential"], rel=0.10
+        )
+
+    def test_variance_within_eps_bound(self):
+        eps, k, total = 0.4, 9, 4_000
+        bank = HYZCounterBank(self.REPLICAS, k, eps, seed=43)
+        rng = np.random.default_rng(44)
+        remaining = total
+        ids = np.arange(self.REPLICAS)
+        while remaining > 0:
+            chunk = min(remaining, 500)
+            site = int(rng.integers(0, k))
+            bank.bulk_add_site(site, ids, np.full(self.REPLICAS, chunk))
+            remaining -= chunk
+        assert bank.estimates().std() <= 1.15 * eps * total
+
+
+class TestSeededDeterminism:
+    """Same seed + same per-site slices -> byte-identical bank state.
+
+    Pins the vectorized engine's RNG consumption order (first-gap batch,
+    trailing-gap batch, interior binomial batch, trigger batches, per
+    worklist pass); an accidental reordering changes these outputs.
+    """
+
+    def _run(self, engine, seed):
+        bank = HYZCounterBank(40, 4, 0.3, seed=seed, engine=engine)
+        workload_rng = np.random.default_rng(1)
+        for _ in range(30):
+            site = int(workload_rng.integers(0, 4))
+            counts = workload_rng.integers(1, 60, size=40)
+            bank.bulk_add_site(site, np.arange(40), counts)
+        return bank
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_same_seed_same_state(self, engine):
+        a = self._run(engine, seed=11)
+        b = self._run(engine, seed=11)
+        assert np.array_equal(a.estimates(), b.estimates())
+        assert np.array_equal(a._local, b._local)
+        assert np.array_equal(a._reported, b._reported)
+        assert np.array_equal(a.rounds_started, b.rounds_started)
+        assert a.message_log.snapshot() == b.message_log.snapshot()
+
+    def test_different_seeds_differ(self):
+        a = self._run("vectorized", seed=11)
+        b = self._run("vectorized", seed=12)
+        assert not np.array_equal(a.estimates(), b.estimates())
+
+    def test_exact_mode_byte_identical_across_engines(self):
+        # The exact-mode prefix consumes no randomness, so as long as every
+        # counter stays exact (count < sqrt(k)/eps) the engines must agree
+        # byte-for-byte, bulk pass or not.
+        results = {}
+        for engine in ENGINES:
+            bank = HYZCounterBank(20, 4, 0.05, seed=1, engine=engine)
+            for site in range(4):
+                bank.bulk_add_site(site, np.arange(20), np.full(20, 10))
+            assert np.all(bank.report_probabilities == 1.0)
+            results[engine] = (
+                bank.estimates(), bank.message_log.snapshot(),
+                bank.rounds_started,
+            )
+        a, b = results["vectorized"], results["sequential"]
+        assert np.array_equal(a[0], b[0])
+        assert a[1] == b[1]
+        assert np.array_equal(a[2], b[2])
+
+
+class TestEstimatorEngineRouting:
+    def test_make_estimator_routes_engine(self, alarm_net):
+        for engine in ENGINES:
+            estimator = make_estimator(
+                alarm_net, "nonuniform", eps=0.2, n_sites=4, seed=0,
+                hyz_engine=engine,
+            )
+            assert estimator.bank.engine == engine
+
+    def test_unknown_engine_raises_at_construction(self, alarm_net):
+        with pytest.raises(CounterError):
+            make_estimator(
+                alarm_net, "uniform", eps=0.2, n_sites=4, hyz_engine="warp"
+            )
