@@ -7,9 +7,21 @@ test:
 	$(PYTHON) -m pytest -q
 
 smoke:
+	rm -rf /tmp/repro_smoke_resume
 	$(PYTHON) -m repro.experiments messages --network alarm \
 	    --algorithms exact,nonuniform --events 1000 --sites 5 \
-	    --eval-events 200 --checkpoints 2 --out /tmp/repro_smoke.json
+	    --eval-events 200 --checkpoints 2 \
+	    --resume-dir /tmp/repro_smoke_resume --stop-after 500 \
+	    --out /tmp/repro_smoke_partial.json; test $$? -eq 3
+	$(PYTHON) -m repro.experiments messages --network alarm \
+	    --algorithms exact,nonuniform --events 1000 --sites 5 \
+	    --eval-events 200 --checkpoints 2 \
+	    --resume-dir /tmp/repro_smoke_resume --out /tmp/repro_smoke.json
+	$(PYTHON) -m repro.experiments classify --features 6 --events 2000 \
+	    --eval-events 300 --sites 4 --out /tmp/repro_smoke_classify.json
+	$(PYTHON) -m repro.experiments separation --events-values 500,1000 \
+	    --example-events 800 --eval-events 50 --sites 3 \
+	    --out /tmp/repro_smoke_separation.json
 	$(PYTHON) -m repro.experiments bench --events 2000 --sites 6 \
 	    --repeats 1 --out /tmp/repro_smoke_bench.json
 	$(PYTHON) -m repro.experiments bench-hyz --events 2000 --sites 6 \

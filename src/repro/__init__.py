@@ -7,15 +7,25 @@ stream horizontally partitioned across ``k`` sites.
 
 Quickstart
 ----------
->>> from repro import alarm, ForwardSampler, make_estimator, UniformPartitioner
+>>> from repro import EstimatorSpec, ForwardSampler, alarm
 >>> net = alarm()
->>> estimator = make_estimator(net, "nonuniform", eps=0.1, n_sites=10, seed=0)
->>> sampler = ForwardSampler(net, seed=1)
->>> partitioner = UniformPartitioner(10, seed=2)
->>> data = sampler.sample(10_000)
->>> estimator.update_batch(data, partitioner.assign(10_000))
->>> probability = estimator.query(data[0])
+>>> spec = EstimatorSpec("alarm", "nonuniform", eps=0.1, n_sites=10, seed=0)
+>>> session = spec.session()
+>>> data = ForwardSampler(net, seed=1).sample(10_000)
+>>> session.ingest(data)                      # sites from the partitioner
+>>> probability = session.query(data[0])
+>>> session.snapshot("/tmp/run.ckpt")         # resume later, anywhere:
+>>> # session = MonitoringSession.restore("/tmp/run.ckpt")
 """
+
+from repro.api import (
+    EstimatorSpec,
+    MonitoringSession,
+    algorithm_names,
+    counter_backend_names,
+    register_algorithm,
+    register_counter_backend,
+)
 
 from repro.bn import (
     BayesianNetwork,
@@ -28,6 +38,7 @@ from repro.bn import (
     link_family,
     link_like,
     munin_like,
+    naive_bayes_network,
     network_by_name,
     new_alarm,
 )
@@ -49,6 +60,8 @@ from repro.experiments import (
     RunResult,
     benchmark_hyz_engines,
     benchmark_update_strategies,
+    classification_experiment,
+    separation_experiment,
 )
 from repro.graph import DAG
 from repro.monitoring import (
@@ -76,10 +89,17 @@ __all__ = [
     "link_like",
     "link_family",
     "munin_like",
+    "naive_bayes_network",
     "network_by_name",
     "ALGORITHMS",
     "StreamingMLEEstimator",
     "make_estimator",
+    "EstimatorSpec",
+    "MonitoringSession",
+    "register_algorithm",
+    "register_counter_backend",
+    "algorithm_names",
+    "counter_backend_names",
     "BayesianClassifier",
     "ExactCounterBank",
     "HYZCounterBank",
@@ -94,4 +114,6 @@ __all__ = [
     "RunResult",
     "benchmark_hyz_engines",
     "benchmark_update_strategies",
+    "classification_experiment",
+    "separation_experiment",
 ]

@@ -1,0 +1,53 @@
+"""The public build-and-run surface of the reproduction.
+
+Three layers:
+
+- **Registries** (:mod:`repro.api.registry`) — pluggable algorithm and
+  counter-backend entries; the paper's algorithms and banks are
+  pre-registered, :func:`register_algorithm` /
+  :func:`register_counter_backend` add more.
+- **Specs** (:mod:`repro.api.spec`) — :class:`EstimatorSpec`, a frozen,
+  validated, JSON-serializable description of one estimator.
+- **Sessions** (:mod:`repro.api.session`) — :class:`MonitoringSession`,
+  the continuous-coordinator lifecycle: incremental ingestion, anytime
+  queries, live metrics, and byte-identical snapshot/resume.
+
+Quickstart::
+
+    from repro.api import EstimatorSpec
+
+    session = EstimatorSpec("alarm", "nonuniform", eps=0.1,
+                            n_sites=10, seed=0).session()
+    session.ingest(events)                  # sites from the partitioner
+    session.query(events[0])
+    session.snapshot("run.ckpt")            # ... later, anywhere:
+    session = MonitoringSession.restore("run.ckpt")
+"""
+
+from repro.api.registry import (
+    AlgorithmEntry,
+    CounterBackendEntry,
+    algorithm_names,
+    counter_backend_names,
+    get_algorithm,
+    get_counter_backend,
+    register_algorithm,
+    register_counter_backend,
+)
+from repro.api.session import SNAPSHOT_SCHEMA, MonitoringSession
+from repro.api.spec import SPEC_SCHEMA, EstimatorSpec
+
+__all__ = [
+    "AlgorithmEntry",
+    "CounterBackendEntry",
+    "EstimatorSpec",
+    "MonitoringSession",
+    "SNAPSHOT_SCHEMA",
+    "SPEC_SCHEMA",
+    "algorithm_names",
+    "counter_backend_names",
+    "get_algorithm",
+    "get_counter_backend",
+    "register_algorithm",
+    "register_counter_backend",
+]

@@ -9,6 +9,7 @@ from repro.bn.repository import (
     link_family,
     link_like,
     munin_like,
+    naive_bayes_network,
     network_by_name,
     new_alarm,
 )
@@ -32,5 +33,6 @@ __all__ = [
     "link_like",
     "link_family",
     "munin_like",
+    "naive_bayes_network",
     "network_by_name",
 ]

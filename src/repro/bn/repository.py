@@ -110,6 +110,73 @@ def new_alarm(
     )
 
 
+def separation_tree(
+    *,
+    n_variables: int = 20,
+    j_large: int = 50,
+    seed: int = 45,
+    min_probability: float = 0.002,
+) -> BayesianNetwork:
+    """The Sec. IV-E separation example as a concrete network.
+
+    A depth-1 tree of ``n_variables`` binary variables whose first leaf
+    has ``j_large`` states: UNIFORM's message size-term is
+    ``n^{1.5} J^2`` while NONUNIFORM's is ``(n + J^{2/3})^{1.5}`` (see
+    ``repro.core.theory.separation_example``), the example the paper
+    uses to show the Lagrange split's advantage.  Used by the
+    ``separation`` experiment preset.
+    """
+    if n_variables < 2:
+        raise ModelError("the separation tree needs at least 2 variables")
+    if j_large < 2:
+        raise ModelError("j_large must be at least 2")
+    parents: dict[str, list[str]] = {"X0": []}
+    cards = {"X0": 2}
+    for i in range(1, n_variables):
+        parents[f"X{i}"] = ["X0"]
+        cards[f"X{i}"] = 2
+    cards["X1"] = int(j_large)
+    return BayesianNetwork.with_random_cpds(
+        DAG(parents),
+        cards,
+        seed=seed,
+        min_probability=min_probability,
+        name=f"separation-tree-{n_variables}-{j_large}",
+    )
+
+
+def naive_bayes_network(
+    *,
+    n_features: int = 12,
+    class_cardinality: int = 3,
+    feature_cardinality: int = 4,
+    seed: int = 1205,
+    min_probability: float = 0.02,
+) -> BayesianNetwork:
+    """A two-layer Naive Bayes network (the Sec. V workload).
+
+    Class variable ``C`` with ``class_cardinality`` states points at
+    ``n_features`` feature variables of ``feature_cardinality`` states
+    each; CPD entries are seeded Dirichlet draws with a probability
+    floor, like every repository network.  Used by the ``classify``
+    experiment (Definition 4 / Theorem 3).
+    """
+    from repro.graph.generators import naive_bayes_dag
+
+    dag = naive_bayes_dag(n_features)
+    cards = {"C": int(class_cardinality)}
+    for node in dag.nodes:
+        if node != "C":
+            cards[node] = int(feature_cardinality)
+    return BayesianNetwork.with_random_cpds(
+        dag,
+        cards,
+        seed=seed,
+        min_probability=min_probability,
+        name=f"naive-bayes-{n_features}",
+    )
+
+
 # ---------------------------------------------------------------------------
 # Size-matched synthetic stand-ins (HEPAR II, LINK, MUNIN).
 # ---------------------------------------------------------------------------
@@ -224,6 +291,8 @@ _REGISTRY = {
     "hepar2": hepar2_like,
     "link": link_like,
     "munin": munin_like,
+    "naive-bayes": naive_bayes_network,
+    "separation-tree": separation_tree,
 }
 
 

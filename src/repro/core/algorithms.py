@@ -1,4 +1,4 @@
-"""Factory wiring networks, allocations, and counter banks into estimators.
+"""Algorithm naming and the deprecated ``make_estimator`` shim.
 
 The four algorithms of the paper's evaluation:
 
@@ -7,40 +7,26 @@ The four algorithms of the paper's evaluation:
 - ``uniform`` — approximate counters, ``eps/(16 sqrt(n))`` split.
 - ``nonuniform`` — approximate counters, Lagrange-optimal split.
 
-plus ``naive-bayes`` (the Sec. V specialization) and a ``deterministic``
-counter backend for ablations.
+plus ``naive-bayes`` (the Sec. V specialization).  They are wired to
+counter backends through the registries in :mod:`repro.api.registry`;
+the declarative entry point is :class:`repro.api.spec.EstimatorSpec`.
+:func:`make_estimator` survives only as a deprecated shim over it.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.bn.network import BayesianNetwork
-from repro.core.allocation import (
-    Allocation,
-    baseline_allocation,
-    naive_bayes_allocation,
-    nonuniform_allocation,
-    uniform_allocation,
-)
+from repro.core.allocation import Allocation
 from repro.core.estimator import StreamingMLEEstimator
-from repro.counters.deterministic import DeterministicCounterBank
-from repro.counters.exact import ExactCounterBank
-from repro.counters.hyz import HYZCounterBank
 from repro.errors import AllocationError
 from repro.monitoring.channel import MessageLog
-from repro.utils.rng import as_generator
-from repro.utils.validation import check_positive_int
 
 #: Algorithm names in the order the paper's plots use.
 ALGORITHMS = ("exact", "baseline", "uniform", "nonuniform")
-
-_ALLOCATORS = {
-    "baseline": baseline_allocation,
-    "uniform": uniform_allocation,
-    "nonuniform": nonuniform_allocation,
-    "naive-bayes": naive_bayes_allocation,
-}
 
 
 def expand_allocation(
@@ -86,64 +72,29 @@ def make_estimator(
 ) -> StreamingMLEEstimator:
     """Build a ready-to-run streaming estimator.
 
-    Parameters
-    ----------
-    network:
-        Structure and domains (CPD values are ignored during learning).
-    algorithm:
-        ``"exact"``, ``"baseline"``, ``"uniform"``, ``"nonuniform"``, or
-        ``"naive-bayes"``.
-    eps:
-        The overall approximation factor of Definition 2 (unused by
-        ``"exact"``).
-    n_sites:
-        Number of distributed sites ``k``.
-    seed:
-        Seed or generator for the randomized counters.
-    message_log:
-        Optional shared message tally (a fresh one is created per estimator
-        otherwise).
-    counter_backend:
-        ``"hyz"`` (the paper's randomized counter) or ``"deterministic"``
-        ((1+eps)-threshold counters, for ablations).  Ignored for
-        ``"exact"``.
-    hyz_engine:
-        Span-replay engine for the HYZ bank: ``"vectorized"`` (default) or
-        ``"sequential"`` (the pre-vectorization per-(counter, site) replay,
-        kept for benchmarking).  Ignored for other backends.
+    .. deprecated::
+        Use :class:`repro.api.spec.EstimatorSpec` — the declarative,
+        serializable spec behind :class:`repro.api.session.MonitoringSession`
+        — and call its ``.build()`` (bare estimator) or ``.session()``
+        (full lifecycle with snapshot/resume).  This shim forwards to
+        ``EstimatorSpec(...).build()`` and will be removed.
     """
-    algorithm = algorithm.strip().lower()
-    n_sites = check_positive_int(n_sites, "n_sites")
-    log = message_log or MessageLog(n_sites)
+    warnings.warn(
+        "make_estimator is deprecated; use "
+        "repro.api.EstimatorSpec(...).build() (or .session() for the full "
+        "monitoring lifecycle)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.api.spec import EstimatorSpec
 
-    if algorithm == "exact":
-        def bank_factory(n_counters: int):
-            return ExactCounterBank(n_counters, n_sites, message_log=log)
-        return StreamingMLEEstimator(network, bank_factory, name="exact")
-
-    if algorithm not in _ALLOCATORS:
-        raise AllocationError(
-            f"unknown algorithm {algorithm!r}; expected one of "
-            f"{('exact',) + tuple(_ALLOCATORS)}"
-        )
-    allocation = _ALLOCATORS[algorithm](network, eps)
-    eps_per_counter = expand_allocation(network, allocation)
-    rng = as_generator(seed)
-
-    if counter_backend == "hyz":
-        def bank_factory(n_counters: int):
-            return HYZCounterBank(
-                n_counters, n_sites, eps_per_counter, seed=rng,
-                message_log=log, engine=hyz_engine,
-            )
-    elif counter_backend == "deterministic":
-        def bank_factory(n_counters: int):
-            return DeterministicCounterBank(
-                n_counters, n_sites, eps_per_counter, message_log=log
-            )
-    else:
-        raise AllocationError(
-            f"unknown counter backend {counter_backend!r}; "
-            "expected 'hyz' or 'deterministic'"
-        )
-    return StreamingMLEEstimator(network, bank_factory, name=algorithm)
+    spec = EstimatorSpec(
+        network=network,
+        algorithm=algorithm,
+        eps=eps,
+        n_sites=n_sites,
+        seed=seed,
+        counter_backend=counter_backend,
+        hyz_engine=hyz_engine,
+    )
+    return spec.build(message_log=message_log)

@@ -268,7 +268,7 @@ class StreamingMLEEstimator:
         (The HYZ bank's *span-replay engine* is a property of the bank, not
         of the grouping strategy: different engines consume randomness in
         different orders and agree statistically instead — see
-        ``docs/hyz-protocol.md`` and ``make_estimator``'s ``hyz_engine``.)
+        ``docs/hyz-protocol.md`` and ``EstimatorSpec``'s ``hyz_engine``.)
         """
         data, site_ids = self._validate_batch(data, site_ids)
         if data.shape[0] == 0:
@@ -522,6 +522,27 @@ class StreamingMLEEstimator:
         return self.network.with_replaced_cpds(
             replacements, name=name if name is not None else f"{self.name}-learned"
         )
+
+    # ------------------------------------------------------------------
+    # State externalization (snapshot/resume)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Stream position plus the full counter-bank state.
+
+        The network/layout and the bank's configuration are *not* part of
+        the state — they are rebuilt from the spec that constructed this
+        estimator, and :meth:`load_state_dict` assumes the receiving
+        estimator has an identical layout.
+        """
+        return {
+            "events_seen": int(self.events_seen),
+            "bank": self.bank.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (in place)."""
+        self.events_seen = int(state["events_seen"])
+        self.bank.load_state_dict(state["bank"])
 
     # ------------------------------------------------------------------
     @property

@@ -91,6 +91,38 @@ class CounterBank(abc.ABC):
         """The coordinator's current estimate of every counter (float64)."""
 
     # ------------------------------------------------------------------
+    # State externalization (the snapshot/resume protocol)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """All mutable protocol state as a flat dict.
+
+        Values are either numpy arrays (copied) or JSON-serializable
+        objects (ints, floats, nested plain dicts — e.g. a Generator's
+        bit-generator state).  Configuration (``eps``, engine, bank
+        dimensions) is *not* included: it is reconstructed from the
+        :class:`~repro.api.spec.EstimatorSpec` that built the bank, and
+        :meth:`load_state_dict` validates shapes against it.  Subclasses
+        extend the dict via ``super().state_dict()``.
+        """
+        return {"local": self._local.copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict` (in place)."""
+        self._load_array(state, "local", self._local)
+
+    def _load_array(self, state: dict, key: str, target: np.ndarray) -> None:
+        """Copy ``state[key]`` into ``target`` after shape/dtype checks."""
+        if key not in state:
+            raise CounterError(f"state dict is missing {key!r}")
+        value = np.asarray(state[key])
+        if value.shape != target.shape:
+            raise CounterError(
+                f"state {key!r} has shape {value.shape}, bank expects "
+                f"{target.shape}"
+            )
+        target[...] = value.astype(target.dtype, copy=False)
+
+    # ------------------------------------------------------------------
     def bulk_add(self, counter_ids, site_ids, counts) -> None:
         """Apply ``counts[j]`` increments of counter ``counter_ids[j]``
         observed at site ``site_ids[j]``.  Pairs may repeat."""

@@ -75,6 +75,19 @@ class DeterministicCounterBank(CounterBank):
         for c in crossing:
             self._advance_thresholds(int(c), site)
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["reported"] = self._reported.copy()
+        state["reported_sum"] = self._reported_sum.copy()
+        state["next_threshold"] = self._next_threshold.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_array(state, "reported", self._reported)
+        self._load_array(state, "reported_sum", self._reported_sum)
+        self._load_array(state, "next_threshold", self._next_threshold)
+
     def estimates(self) -> np.ndarray:
         """Sum of last reports; an underestimate within (1+eps) per site."""
         return self._reported_sum.astype(np.float64)

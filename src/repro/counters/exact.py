@@ -41,6 +41,15 @@ class ExactCounterBank(CounterBank):
             touched, per_site[touched].astype(np.int64)
         )
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["coordinator"] = self._coordinator.copy()
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_array(state, "coordinator", self._coordinator)
+
     def estimates(self) -> np.ndarray:
         return self._coordinator.astype(np.float64)
 

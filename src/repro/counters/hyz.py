@@ -34,7 +34,7 @@ import numpy as np
 from repro.counters.base import CounterBank
 from repro.errors import CounterError
 from repro.monitoring.channel import MessageKind
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, restore_generator_state
 
 #: Supported span-replay engines (see the module docstring).
 ENGINES = ("vectorized", "sequential")
@@ -106,6 +106,47 @@ class HYZCounterBank(CounterBank):
         self._round_base = np.ones(self.n_counters, dtype=np.float64)
         self._p = np.minimum(1.0, self._sqrt_k / (self.eps * self._round_base))
         self._rounds_started = np.zeros(self.n_counters, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # State externalization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """Protocol state plus the coin-flip Generator's bit-generator state.
+
+        Both engines share this state layout (the engine is configuration,
+        not state), so a snapshot taken under one engine can only be
+        restored into a bank built with the *same* engine if byte-identical
+        continuation is required — the engines consume the restored RNG
+        stream in different orders.
+        """
+        state = super().state_dict()
+        state["reported"] = self._reported.copy()
+        state["reported_sum"] = self._reported_sum.copy()
+        state["round_reported"] = self._round_reported.copy()
+        state["round_reported_count"] = self._round_reported_count.copy()
+        state["round_base"] = self._round_base.copy()
+        state["p"] = self._p.copy()
+        state["rounds_started"] = self._rounds_started.copy()
+        state["rng_state"] = self._rng.bit_generator.state
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._load_array(state, "reported", self._reported)
+        self._load_array(state, "reported_sum", self._reported_sum)
+        self._load_array(state, "round_reported", self._round_reported)
+        self._load_array(state, "round_reported_count",
+                         self._round_reported_count)
+        self._load_array(state, "round_base", self._round_base)
+        self._load_array(state, "p", self._p)
+        self._load_array(state, "rounds_started", self._rounds_started)
+        rng_state = state.get("rng_state")
+        if rng_state is None:
+            raise CounterError("state dict is missing 'rng_state'")
+        try:
+            self._rng = restore_generator_state(self._rng, rng_state)
+        except ValueError as exc:
+            raise CounterError(str(exc)) from exc
 
     # ------------------------------------------------------------------
     # Coordinator-side helpers

@@ -55,3 +55,11 @@ class QueryError(ReproError):
 
 class EvaluationError(ReproError):
     """A problem in the experiment harness or metric computation."""
+
+
+class SpecError(ReproError):
+    """An estimator specification is malformed or inconsistent."""
+
+
+class SessionError(ReproError):
+    """A monitoring session was misused or a snapshot cannot be restored."""

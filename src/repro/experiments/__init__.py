@@ -2,11 +2,15 @@
 
 - :mod:`repro.experiments.runner` — :class:`ExperimentRunner` drives
   (network, algorithm, partitioner, eps, k, m) grids through
-  ``make_estimator`` and records messages, accuracy, and modeled runtime.
+  :class:`~repro.api.session.MonitoringSession` objects, records
+  messages, accuracy, and modeled runtime, and checkpoints/resumes runs
+  via session snapshots.
 - :mod:`repro.experiments.results` — result dataclasses with
   ``BENCH_*.json``-style serialization.
 - :mod:`repro.experiments.bench` — microbenchmarks for the training hot
-  path (update_batch grouping strategies).
+  path (update_batch grouping strategies, HYZ span-replay engines).
+- :mod:`repro.experiments.presets` — paper-scenario presets: the Sec. V
+  classification comparison and the Sec. IV-E separation sweep.
 - :mod:`repro.experiments.cli` — ``python -m repro.experiments`` with one
   subcommand per figure family.
 """
@@ -14,6 +18,10 @@
 from repro.experiments.bench import (
     benchmark_hyz_engines,
     benchmark_update_strategies,
+)
+from repro.experiments.presets import (
+    classification_experiment,
+    separation_experiment,
 )
 from repro.experiments.results import (
     SCHEMA,
@@ -24,6 +32,7 @@ from repro.experiments.results import (
 from repro.experiments.runner import (
     ExperimentRunner,
     checkpoint_schedule,
+    grid_point_key,
     make_partitioner,
 )
 
@@ -34,7 +43,10 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "checkpoint_schedule",
+    "grid_point_key",
     "make_partitioner",
     "benchmark_hyz_engines",
     "benchmark_update_strategies",
+    "classification_experiment",
+    "separation_experiment",
 ]

@@ -23,9 +23,9 @@ import time
 
 import numpy as np
 
+from repro.api.spec import EstimatorSpec
 from repro.bn.repository import network_by_name
 from repro.bn.sampling import ForwardSampler
-from repro.core.algorithms import make_estimator
 from repro.monitoring.stream import UniformPartitioner
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive_int
@@ -66,10 +66,12 @@ def benchmark_update_strategies(
     states: dict[str, np.ndarray] = {}
     estimates: dict[str, np.ndarray] = {}
     messages: dict[str, int] = {}
+    spec = EstimatorSpec(
+        network=net, algorithm=algorithm, eps=eps, n_sites=n_sites,
+        seed=seed + 1,
+    )
     for strategy in strategies:
-        estimator = make_estimator(
-            net, algorithm, eps=eps, n_sites=n_sites, seed=seed + 1
-        )
+        estimator = spec.build(network=net)
         estimator.update_batch(data, sites, strategy=strategy)  # warm-up
         best = float("inf")
         for _ in range(repeats):
@@ -163,12 +165,13 @@ def benchmark_hyz_engines(
     messages: dict[str, int] = {}
     mean_rel_err: dict[str, float] = {}
     for engine in engines:
+        spec = EstimatorSpec(
+            network=net, algorithm=algorithm, eps=eps, n_sites=n_sites,
+            seed=seed + 1, hyz_engine=engine,
+        )
         best = float("inf")
         for _ in range(repeats):
-            estimator = make_estimator(
-                net, algorithm, eps=eps, n_sites=n_sites, seed=seed + 1,
-                hyz_engine=engine,
-            )
+            estimator = spec.build(network=net)
             t0 = time.perf_counter()
             estimator.update_batch(data, sites)
             best = min(best, time.perf_counter() - t0)

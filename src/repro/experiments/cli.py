@@ -2,16 +2,28 @@
 
 One subcommand per figure family of Zhang, Tirthapura & Cormode (ICDE 2018):
 
-- ``messages``  — message counts and accuracy along the stream (Fig. 4).
-- ``eps``       — communication vs the approximation budget eps (Fig. 5).
-- ``sites``     — communication vs the number of sites k (Fig. 6).
-- ``accuracy``  — estimate accuracy vs stream length (Fig. 7's metric).
-- ``runtime``   — modeled cluster runtime/throughput (Figs. 7-8).
-- ``bench``     — microbenchmark of the update_batch grouping strategies.
-- ``bench-hyz`` — microbenchmark of the HYZ span-replay engines.
+- ``messages``   — message counts and accuracy along the stream (Fig. 4).
+- ``eps``        — communication vs the approximation budget eps (Fig. 5).
+- ``sites``      — communication vs the number of sites k (Fig. 6).
+- ``accuracy``   — estimate accuracy vs stream length (Fig. 7's metric).
+- ``runtime``    — modeled cluster runtime/throughput (Figs. 7-8).
+- ``classify``   — approximate vs exact Bayesian classification (Sec. V,
+  Definition 4 / Theorem 3): agreement rate and error-rate gap.
+- ``separation`` — the Sec. IV-E NONUNIFORM-vs-UNIFORM crossover sweep
+  on NEW-ALARM.
+- ``bench``      — microbenchmark of the update_batch grouping strategies.
+- ``bench-hyz``  — microbenchmark of the HYZ span-replay engines.
 
 Each subcommand prints an aligned summary table to stderr and writes a
 ``BENCH_*.json``-style document to ``--out`` (stdout by default).
+
+Grid subcommands are resumable: ``--resume-dir DIR`` checkpoints every
+run's session there (snapshot bundles) and caches finished results, so
+re-invoking the same command continues where it left off.
+``--stop-after N`` deliberately interrupts each run at the first
+checkpoint past ``N`` events — exit code 3 signals "snapshots saved,
+re-run to finish", which is how ``make smoke`` exercises the
+snapshot→restore cycle end to end.
 """
 
 from __future__ import annotations
@@ -21,12 +33,20 @@ import json
 import sys
 
 from repro.core.algorithms import ALGORITHMS
+from repro.counters.hyz import ENGINES
 from repro.experiments.bench import (
     benchmark_hyz_engines,
     benchmark_update_strategies,
 )
+from repro.experiments.presets import (
+    classification_experiment,
+    separation_experiment,
+)
 from repro.experiments.runner import ExperimentRunner
 from repro.utils.tabletext import format_table
+
+#: Exit code of a grid command that stopped early, leaving snapshots.
+EXIT_INCOMPLETE = 3
 
 
 def _csv(value: str) -> list[str]:
@@ -45,7 +65,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--network", default="alarm",
         help="evaluation network name (Table I): alarm, new-alarm, hepar2, "
-        "link, munin",
+        "link, munin, naive-bayes",
     )
     parser.add_argument(
         "--algorithms", type=_csv, default=list(ALGORITHMS),
@@ -64,9 +84,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--zipf-exponent", type=float, default=1.0)
     parser.add_argument("--counter-backend", default="hyz",
                         choices=["hyz", "deterministic"])
+    parser.add_argument("--hyz-engine", default="vectorized",
+                        choices=list(ENGINES),
+                        help="HYZ span-replay engine (default: %(default)s)")
     parser.add_argument("--eval-events", type=int, default=2_000,
                         help="held-out accuracy sample size")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--resume-dir", default=None,
+        help="checkpoint sessions and cache results here; re-invoking the "
+        "same command resumes incomplete runs and skips finished ones",
+    )
+    parser.add_argument(
+        "--stop-after", type=int, default=None,
+        help="interrupt every run at the first checkpoint past this many "
+        "events, leaving resumable snapshots (needs --resume-dir)",
+    )
     parser.add_argument("--out", default=None,
                         help="write JSON here (default: stdout)")
 
@@ -108,6 +141,9 @@ def _run_table(result) -> str:
 
 
 def _grid_command(args, *, name, eps_values=None, site_counts=None) -> int:
+    if args.stop_after is not None and args.resume_dir is None:
+        print("--stop-after requires --resume-dir", file=sys.stderr)
+        return 2
     runner = _runner(args)
     result = runner.run_grid(
         name,
@@ -120,8 +156,19 @@ def _grid_command(args, *, name, eps_values=None, site_counts=None) -> int:
         partitioner=args.partitioner,
         zipf_exponent=args.zipf_exponent,
         counter_backend=args.counter_backend,
+        hyz_engine=args.hyz_engine,
+        resume_dir=args.resume_dir,
+        stop_after=args.stop_after,
     )
     _emit(result.to_dict(), args.out, summary=_run_table(result))
+    incomplete = result.params.get("incomplete_runs", [])
+    if incomplete:
+        print(
+            f"{len(incomplete)} run(s) stopped early with snapshots under "
+            f"{args.resume_dir}; re-invoke the same command to finish them",
+            file=sys.stderr,
+        )
+        return EXIT_INCOMPLETE
     return 0
 
 
@@ -166,6 +213,55 @@ def main(argv=None) -> int:
     )
     _add_common(p_runtime)
 
+    p_classify = sub.add_parser(
+        "classify",
+        help="approximate vs exact classification (Sec. V, Theorem 3)",
+    )
+    p_classify.add_argument("--features", type=int, default=12,
+                            help="number of Naive Bayes features")
+    p_classify.add_argument("--class-cardinality", type=int, default=3)
+    p_classify.add_argument("--feature-cardinality", type=int, default=4)
+    p_classify.add_argument(
+        "--algorithms", type=_csv, default=["naive-bayes", "nonuniform"],
+        help="approximate algorithms to compare against exact",
+    )
+    p_classify.add_argument("--eps", type=float, default=0.1)
+    p_classify.add_argument("--sites", type=int, default=10)
+    p_classify.add_argument("--events", type=int, default=20_000)
+    p_classify.add_argument("--eval-events", type=int, default=2_000)
+    p_classify.add_argument("--hyz-engine", default="vectorized",
+                            choices=list(ENGINES))
+    p_classify.add_argument("--seed", type=int, default=0)
+    p_classify.add_argument("--out", default=None)
+
+    p_separation = sub.add_parser(
+        "separation",
+        help="NONUNIFORM-vs-UNIFORM crossover on NEW-ALARM (Sec. IV-E)",
+    )
+    p_separation.add_argument(
+        "--events-values", type=_csv_ints,
+        default=[10_000, 50_000, 150_000],
+        help="NEW-ALARM stream-length sweep (default: %(default)s)",
+    )
+    p_separation.add_argument("--eps", type=float, default=0.4,
+                              help="large eps favors the sampling regime")
+    p_separation.add_argument("--sites", type=int, default=10)
+    p_separation.add_argument("--inflated-count", type=int, default=6)
+    p_separation.add_argument("--inflated-cardinality", type=int, default=20)
+    p_separation.add_argument(
+        "--example-events", type=int, default=200_000,
+        help="stream length of the Sec. IV-E tree example "
+        "(default: %(default)s — long enough for NONUNIFORM to win)",
+    )
+    p_separation.add_argument("--example-variables", type=int, default=20)
+    p_separation.add_argument("--example-j-large", type=int, default=50)
+    p_separation.add_argument("--example-eps", type=float, default=0.5)
+    p_separation.add_argument("--eval-events", type=int, default=200)
+    p_separation.add_argument("--hyz-engine", default="vectorized",
+                              choices=list(ENGINES))
+    p_separation.add_argument("--seed", type=int, default=0)
+    p_separation.add_argument("--out", default=None)
+
     p_bench = sub.add_parser(
         "bench", help="microbenchmark update_batch grouping strategies"
     )
@@ -206,6 +302,78 @@ def main(argv=None) -> int:
         return _grid_command(args, name="accuracy-vs-stream")
     if args.command == "runtime":
         return _grid_command(args, name="modeled-runtime")
+    if args.command == "classify":
+        document = classification_experiment(
+            n_features=args.features,
+            class_cardinality=args.class_cardinality,
+            feature_cardinality=args.feature_cardinality,
+            algorithms=args.algorithms,
+            eps=args.eps,
+            n_sites=args.sites,
+            n_events=args.events,
+            eval_events=args.eval_events,
+            hyz_engine=args.hyz_engine,
+            seed=args.seed,
+        )
+        rows = [
+            [r["algorithm"], r["error_rate"],
+             r.get("agreement_vs_exact", "-"), r.get("error_rate_gap", "-"),
+             r["total_messages"]]
+            for r in document["results"]
+        ]
+        _emit(
+            document, args.out,
+            summary=format_table(
+                ["algorithm", "error-rate", "agree-vs-exact", "gap",
+                 "messages"], rows,
+                title=f"classification ({document['params']['network']}, "
+                      f"m={args.events}, k={args.sites}, "
+                      f"truth-err="
+                      f"{document['params']['ground_truth_error_rate']:.4f})",
+            ),
+        )
+        return 0
+    if args.command == "separation":
+        document = separation_experiment(
+            events_values=args.events_values,
+            eps=args.eps,
+            n_sites=args.sites,
+            inflated_count=args.inflated_count,
+            inflated_cardinality=args.inflated_cardinality,
+            example_events=args.example_events,
+            example_variables=args.example_variables,
+            example_j_large=args.example_j_large,
+            example_eps=args.example_eps,
+            eval_events=args.eval_events,
+            hyz_engine=args.hyz_engine,
+            seed=args.seed,
+        )
+        example = document["example"]
+        rows = [
+            [example["network"], example["n_events"],
+             example["uniform_messages"], example["nonuniform_messages"],
+             example["uniform_over_nonuniform"], example["nonuniform_wins"]],
+        ]
+        rows += [
+            [document["params"]["network"], r["n_events"],
+             r["uniform_messages"], r["nonuniform_messages"],
+             r["uniform_over_nonuniform"], r["nonuniform_wins"]]
+            for r in document["results"]
+        ]
+        crossover = document["crossover_events"]
+        _emit(
+            document, args.out,
+            summary=format_table(
+                ["network", "m", "uniform", "nonuniform", "ratio",
+                 "nonuniform-wins"],
+                rows,
+                title=f"Sec. IV-E separation (example theory-ratio="
+                      f"{example['theory']['ratio']:.1f}, new-alarm "
+                      f"crossover="
+                      f"{crossover if crossover is not None else 'not reached'})",
+            ),
+        )
+        return 0
     if args.command == "bench":
         document = benchmark_update_strategies(
             args.network,

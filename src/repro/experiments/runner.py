@@ -2,51 +2,53 @@
 
 :class:`ExperimentRunner` reproduces the paper's evaluation loop (Sec. VI):
 sample a training stream from the ground-truth network, partition it across
-``k`` sites, feed it to one estimator per grid point, and record message
-counts, estimate accuracy against the sampling network, and the modeled
-cluster runtime at checkpoints along the stream.
+``k`` sites, feed it to one :class:`~repro.api.session.MonitoringSession`
+per grid point, and record message counts, estimate accuracy against the
+sampling network, and the modeled cluster runtime at checkpoints along the
+stream.
+
+Runs are **resumable**: give :meth:`ExperimentRunner.run_one` a
+``snapshot_path`` and it persists the session (plus its own progress) at
+every checkpoint; a later call with the same parameters restores the
+bundle, fast-forwards the stream generators past the events the session
+already saw, and continues byte-identically — the finished run is
+indistinguishable from an uninterrupted one.
+:meth:`ExperimentRunner.run_grid` layers result caching on top
+(``resume_dir``), so an interrupted grid re-run skips completed points
+and resumes partial ones.
 """
 
 from __future__ import annotations
 
+import json
 import time
 from collections.abc import Sequence
+from pathlib import Path
 
 import numpy as np
 
+from repro.api.session import MonitoringSession
+from repro.api.spec import EstimatorSpec
 from repro.bn.network import BayesianNetwork
 from repro.bn.repository import network_by_name
 from repro.bn.sampling import ForwardSampler
-from repro.core.algorithms import make_estimator
-from repro.errors import StreamError
+from repro.errors import EvaluationError, StreamError
 from repro.experiments.results import (
     CheckpointRecord,
     ExperimentResult,
     RunResult,
 )
 from repro.monitoring.cluster import ClusterCostModel
-from repro.monitoring.stream import (
-    RoundRobinPartitioner,
-    UniformPartitioner,
-    ZipfPartitioner,
-)
+from repro.monitoring.stream import make_partitioner
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive_int
 
-
-def make_partitioner(name: str, n_sites: int, *, seed=None, exponent: float = 1.0):
-    """Build a stream partitioner by its CLI name."""
-    key = name.strip().lower().replace("_", "-")
-    if key == "uniform":
-        return UniformPartitioner(n_sites, seed=seed)
-    if key == "round-robin":
-        return RoundRobinPartitioner(n_sites)
-    if key == "zipf":
-        return ZipfPartitioner(n_sites, exponent=exponent, seed=seed)
-    raise StreamError(
-        f"unknown partitioner {name!r}; expected 'uniform', 'round-robin', "
-        "or 'zipf'"
-    )
+__all__ = [
+    "ExperimentRunner",
+    "checkpoint_schedule",
+    "make_partitioner",
+    "grid_point_key",
+]
 
 
 def checkpoint_schedule(n_events: int, n_checkpoints: int) -> list[int]:
@@ -55,6 +57,38 @@ def checkpoint_schedule(n_events: int, n_checkpoints: int) -> list[int]:
     n_checkpoints = check_positive_int(n_checkpoints, "n_checkpoints")
     points = np.linspace(0, n_events, min(n_checkpoints, n_events) + 1)[1:]
     return sorted({int(round(p)) for p in points})
+
+
+def grid_point_key(
+    network: str,
+    algorithm: str,
+    *,
+    eps: float,
+    n_sites: int,
+    n_events: int,
+    partitioner: str,
+    counter_backend: str,
+    seed: int,
+    hyz_engine: str = "vectorized",
+    zipf_exponent: float = 1.0,
+    checkpoints="",
+    eval_events: int = 0,
+    chunk_size: int = 0,
+) -> str:
+    """Stable filesystem-safe identifier for one grid point.
+
+    Every parameter that changes a run's stream, estimator, or recorded
+    checkpoints is part of the key — including ``chunk_size``, whose
+    batch boundaries determine the sampler's draw layout — so cached
+    results and snapshots from a differently-configured invocation can
+    never be mistaken for this one.
+    """
+    raw = (
+        f"{network}-{algorithm}-eps{eps:g}-k{n_sites}-m{n_events}"
+        f"-{partitioner}{zipf_exponent:g}-{counter_backend}-{hyz_engine}"
+        f"-c{checkpoints}-e{eval_events}-b{chunk_size}-seed{seed}"
+    )
+    return "".join(c if c.isalnum() or c in "._-" else "_" for c in raw)
 
 
 class ExperimentRunner:
@@ -66,7 +100,9 @@ class ExperimentRunner:
         Held-out evaluation events sampled from the ground-truth network;
         accuracy is the mean absolute log-probability error over them.
     chunk_size:
-        Stream batch size fed to ``update_batch`` (the training hot path).
+        Stream batch size fed to the session (the training hot path).
+        Part of the resume contract: chunk boundaries determine the RNG
+        draw layout, so a snapshot only resumes under the same value.
     cost_model:
         The analytic cluster model used for modeled runtime/throughput.
     seed:
@@ -106,6 +142,54 @@ class ExperimentRunner:
         error = float(np.mean(np.abs(est_logp[scored] - truth_logp[scored])))
         return error, float(unscored)
 
+    def _resolve_schedule(
+        self, n_events: int, checkpoints: Sequence[int] | int
+    ) -> list[int]:
+        if isinstance(checkpoints, int):
+            return checkpoint_schedule(n_events, checkpoints)
+        schedule = sorted({int(c) for c in checkpoints})
+        if not schedule or schedule[-1] != n_events:
+            raise StreamError(
+                "explicit checkpoint schedule must end at n_events"
+            )
+        if schedule[0] <= 0:
+            raise StreamError("checkpoints must be positive")
+        return schedule
+
+    @staticmethod
+    def _comparable_spec(spec: EstimatorSpec) -> dict:
+        """Spec fields that must match for a snapshot to be resumable.
+
+        Inline-embedded networks are reduced to their *structure* (name,
+        domains, parent sets): that is what determines the counter
+        layout, while CPD values are ignored during learning and drift
+        in the last ULP across the serialize/renormalize round-trip —
+        comparing them verbatim would reject identical runs.
+        """
+        payload = spec.to_dict()
+        network = payload["network"]
+        if isinstance(network, dict):
+            inline = network["inline"]
+            payload["network"] = {
+                "name": inline.get("name"),
+                "variables": [
+                    (v["name"], v["cardinality"])
+                    for v in inline["variables"]
+                ],
+                "parents": inline["parents"],
+            }
+        return payload
+
+    @staticmethod
+    def _remove_bundle(path) -> None:
+        bundle = Path(path)
+        for name in ("meta.json", "arrays.npz"):
+            target = bundle / name
+            if target.is_file():
+                target.unlink()
+        if bundle.is_dir() and not any(bundle.iterdir()):
+            bundle.rmdir()
+
     # ------------------------------------------------------------------
     def run_one(
         self,
@@ -119,89 +203,194 @@ class ExperimentRunner:
         partitioner: str = "uniform",
         zipf_exponent: float = 1.0,
         counter_backend: str = "hyz",
+        hyz_engine: str = "vectorized",
         seed: int | None = None,
-    ) -> RunResult:
-        """Train one estimator over one simulated stream.
+        spec_network=None,
+        snapshot_path=None,
+        stop_after: int | None = None,
+        keep_snapshot: bool = False,
+    ) -> RunResult | None:
+        """Train one session over one simulated stream.
 
         ``checkpoints`` is either an explicit increasing schedule of event
         counts (the last entry must equal ``n_events``) or a count of evenly
         spaced checkpoints.
+
+        ``spec_network`` optionally names the network for the session's
+        spec (and therefore for snapshots) when ``network`` is already a
+        resolved object — a repository *name* keeps snapshot bundles
+        small, an object embeds the network inline.
+
+        With a ``snapshot_path``, the session (and the runner's progress)
+        is persisted there at every checkpoint, and an existing bundle at
+        that path is restored and continued instead of starting over; the
+        bundle is removed once the run completes unless ``keep_snapshot``.
+        ``stop_after`` ends the run early at the first checkpoint at or
+        beyond that many events — the snapshot stays on disk and the call
+        returns ``None`` (a partial run), which is how the CLI simulates
+        interruption for smoke-testing resume.
         """
+        if stop_after is not None and snapshot_path is None:
+            raise EvaluationError(
+                "stop_after without snapshot_path would discard the "
+                "partial run; pass a snapshot_path to persist it"
+            )
         net = self._resolve_network(network)
         n_events = check_positive_int(n_events, "n_events")
-        if isinstance(checkpoints, int):
-            schedule = checkpoint_schedule(n_events, checkpoints)
-        else:
-            schedule = sorted({int(c) for c in checkpoints})
-            if not schedule or schedule[-1] != n_events:
-                raise StreamError(
-                    "explicit checkpoint schedule must end at n_events"
-                )
-            if schedule[0] <= 0:
-                raise StreamError("checkpoints must be positive")
+        schedule = self._resolve_schedule(n_events, checkpoints)
         run_seed = self.seed if seed is None else int(seed)
+
+        # Stream generators: children are spawned in a fixed order
+        # (sampler, partitioner, eval) so fresh and resumed runs consume
+        # identical streams.  The session derives its own generators from
+        # the spec seed under a distinct spawn key.
         source = RandomSource(run_seed)
         sampler = ForwardSampler(net, seed=source.generator())
         parts = make_partitioner(
             partitioner, n_sites, seed=source.generator(), exponent=zipf_exponent
         )
-        estimator = make_estimator(
-            net,
-            algorithm,
+        if spec_network is None:
+            spec_network = network if isinstance(network, str) else net
+        spec = EstimatorSpec(
+            network=spec_network,
+            algorithm=algorithm,
             eps=eps,
             n_sites=n_sites,
-            seed=source.generator(),
+            seed=run_seed,
             counter_backend=counter_backend,
+            hyz_engine=hyz_engine,
+            partitioner=partitioner,
+            zipf_exponent=zipf_exponent,
         )
+        run_params = {
+            "n_events": n_events,
+            "schedule": schedule,
+            "chunk_size": self.chunk_size,
+            "eval_events": self.eval_events,
+            "seed": run_seed,
+        }
+
+        resume_state = None
+        if snapshot_path is not None and (
+            Path(snapshot_path) / "meta.json"
+        ).is_file():
+            session = MonitoringSession.restore(snapshot_path, network=net)
+            extra = session.restored_extra or {}
+            resume_state = extra.get("runner")
+            if resume_state is None:
+                raise EvaluationError(
+                    f"snapshot at {snapshot_path} holds no runner state"
+                )
+            if resume_state.get("params") != run_params:
+                raise EvaluationError(
+                    f"snapshot at {snapshot_path} was taken under different "
+                    f"run parameters {resume_state.get('params')}; "
+                    f"this run uses {run_params}"
+                )
+            if self._comparable_spec(session.spec) != self._comparable_spec(spec):
+                raise EvaluationError(
+                    f"snapshot at {snapshot_path} holds a different "
+                    f"estimator spec ({session.spec.algorithm!r}, "
+                    f"eps={session.spec.eps}); this run requested "
+                    f"{spec.algorithm!r}, eps={spec.eps}"
+                )
+        else:
+            session = MonitoringSession(spec, network=net)
+
         eval_sampler = ForwardSampler(net, seed=source.generator())
         eval_data = eval_sampler.sample(self.eval_events)
         truth_logp = net.log_probability_batch(eval_data)
 
-        records: list[CheckpointRecord] = []
+        if resume_state is not None:
+            records = [
+                CheckpointRecord.from_dict(c)
+                for c in resume_state["checkpoints"]
+            ]
+            wall = float(resume_state["wall_seconds"])
+            done = int(resume_state["produced"])
+            if done != session.events_seen:
+                raise EvaluationError(
+                    f"snapshot stream position {done} disagrees with the "
+                    f"session's events_seen {session.events_seen}"
+                )
+        else:
+            records = []
+            wall = 0.0
+            done = 0
+
         produced = 0
-        wall = 0.0
         for target in schedule:
             while produced < target:
                 size = min(self.chunk_size, target - produced)
                 batch = sampler.sample(size)
                 sites = parts.assign(size)
-                t0 = time.perf_counter()
-                estimator.update_batch(
-                    batch, sites, strategy=self.update_strategy
-                )
-                wall += time.perf_counter() - t0
+                # Chunks at or before the snapshot position are replayed
+                # only to advance the generators (snapshots land on
+                # checkpoint boundaries, so chunks never straddle `done`).
+                if produced + size > done:
+                    t0 = time.perf_counter()
+                    session.ingest(batch, sites, strategy=self.update_strategy)
+                    wall += time.perf_counter() - t0
                 produced += size
-            error, unscored = self._accuracy(estimator, eval_data, truth_logp)
+            if produced <= done:
+                continue  # checkpoint recorded before the snapshot
+            error, unscored = self._accuracy(
+                session.estimator, eval_data, truth_logp
+            )
             records.append(
                 CheckpointRecord(
                     events=produced,
-                    total_messages=estimator.total_messages,
-                    messages_by_kind=estimator.bank.message_log.snapshot(),
+                    total_messages=session.total_messages,
+                    messages_by_kind=session.message_log.snapshot(),
                     mean_abs_log_error=error,
                     unscored_fraction=unscored,
                 )
             )
+            # No snapshot at the final checkpoint: the run is about to
+            # return its complete result, and the bundle would be removed
+            # a few lines below anyway (a crash in between resumes from
+            # the previous checkpoint's bundle instead).
+            if snapshot_path is not None and produced < n_events:
+                session.snapshot(
+                    snapshot_path,
+                    extra={
+                        "runner": {
+                            "params": run_params,
+                            "produced": produced,
+                            "wall_seconds": wall,
+                            "checkpoints": [r.to_dict() for r in records],
+                        }
+                    },
+                )
+            if (
+                stop_after is not None
+                and produced >= stop_after
+                and produced < n_events
+            ):
+                return None
 
-        log = estimator.bank.message_log
+        log = session.message_log
         summary = self.cost_model.summarize(
             n_events,
             net.n_variables,
-            estimator.total_messages,
+            session.total_messages,
             n_sites,
             max_site_messages=int(log.site_messages.max()),
         )
+        if snapshot_path is not None and not keep_snapshot:
+            self._remove_bundle(snapshot_path)
         return RunResult(
             network=net.name,
-            algorithm=estimator.name,
+            algorithm=session.estimator.name,
             partitioner=partitioner,
-            counter_backend=counter_backend if algorithm != "exact" else "exact",
+            counter_backend=spec.resolved_backend,
             eps=float(eps),
             n_sites=int(n_sites),
             n_events=n_events,
             seed=run_seed,
             n_variables=net.n_variables,
             parameter_count=net.parameter_count,
-            n_counters=estimator.n_counters,
+            n_counters=session.estimator.n_counters,
             checkpoints=records,
             runtime={
                 "runtime_seconds": summary.runtime_seconds,
@@ -226,8 +415,19 @@ class ExperimentRunner:
         partitioner: str = "uniform",
         zipf_exponent: float = 1.0,
         counter_backend: str = "hyz",
+        hyz_engine: str = "vectorized",
+        resume_dir=None,
+        stop_after: int | None = None,
     ) -> ExperimentResult:
-        """Run the full cartesian grid and collect an :class:`ExperimentResult`."""
+        """Run the full cartesian grid and collect an :class:`ExperimentResult`.
+
+        With a ``resume_dir``, every grid point checkpoints its session
+        under ``<resume_dir>/<key>.ckpt`` and caches its finished
+        :class:`RunResult` as ``<key>.result.json`` — re-invoking the same
+        grid loads cached results, resumes partial snapshots, and only
+        computes what is missing.  Grid points stopped early by
+        ``stop_after`` are listed in ``params["incomplete_runs"]``.
+        """
         resolved = [self._resolve_network(n) for n in networks]
         result = ExperimentResult(
             name=name,
@@ -245,28 +445,84 @@ class ExperimentRunner:
                     else [int(c) for c in checkpoints]
                 ),
                 "counter_backend": counter_backend,
+                "hyz_engine": hyz_engine,
                 "eval_events": self.eval_events,
                 "seed": self.seed,
             },
         )
+        incomplete: list[str] = []
+        if resume_dir is not None:
+            resume_dir = Path(resume_dir)
+            resume_dir.mkdir(parents=True, exist_ok=True)
+        if stop_after is not None and resume_dir is None:
+            raise EvaluationError(
+                "stop_after without resume_dir would discard the partial "
+                "runs; pass a resume_dir to persist their snapshots"
+            )
+        checkpoint_tag = (
+            str(checkpoints)
+            if isinstance(checkpoints, int)
+            else "-".join(str(int(c)) for c in checkpoints)
+        )
         # Every run_one call reuses self.seed, so all grid points train on
         # byte-identical streams/partitions — the paired design the paper's
         # algorithm comparisons assume (regeneration keeps memory flat).
-        for net in resolved:
+        for original, net in zip(list(networks), resolved):
             for eps in eps_values:
                 for n_sites in site_counts:
                     for algorithm in algorithms:
-                        result.runs.append(
-                            self.run_one(
-                                net,
-                                algorithm,
-                                eps=eps,
-                                n_sites=n_sites,
-                                n_events=n_events,
-                                checkpoints=checkpoints,
-                                partitioner=partitioner,
-                                zipf_exponent=zipf_exponent,
-                                counter_backend=counter_backend,
-                            )
+                        key = grid_point_key(
+                            net.name,
+                            algorithm,
+                            eps=eps,
+                            n_sites=n_sites,
+                            n_events=n_events,
+                            partitioner=partitioner,
+                            counter_backend=counter_backend,
+                            seed=self.seed,
+                            hyz_engine=hyz_engine,
+                            zipf_exponent=zipf_exponent,
+                            checkpoints=checkpoint_tag,
+                            eval_events=self.eval_events,
+                            chunk_size=self.chunk_size,
                         )
+                        snapshot_path = result_path = None
+                        if resume_dir is not None:
+                            snapshot_path = resume_dir / f"{key}.ckpt"
+                            result_path = resume_dir / f"{key}.result.json"
+                            if result_path.is_file():
+                                result.runs.append(
+                                    RunResult.from_dict(
+                                        json.loads(result_path.read_text())
+                                    )
+                                )
+                                continue
+                        run = self.run_one(
+                            net,
+                            algorithm,
+                            eps=eps,
+                            n_sites=n_sites,
+                            n_events=n_events,
+                            checkpoints=checkpoints,
+                            partitioner=partitioner,
+                            zipf_exponent=zipf_exponent,
+                            counter_backend=counter_backend,
+                            hyz_engine=hyz_engine,
+                            spec_network=(
+                                original if isinstance(original, str) else None
+                            ),
+                            snapshot_path=snapshot_path,
+                            stop_after=stop_after,
+                        )
+                        if run is None:
+                            incomplete.append(key)
+                            continue
+                        result.runs.append(run)
+                        if result_path is not None:
+                            result_path.write_text(
+                                json.dumps(run.to_dict(), sort_keys=True)
+                                + "\n"
+                            )
+        if incomplete:
+            result.params["incomplete_runs"] = incomplete
         return result

@@ -131,5 +131,38 @@ class MessageLog:
         result["total"] = self.total
         return result
 
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """All tallies, for the session snapshot protocol.
+
+        ``per_site`` is a numpy array; everything else is JSON-ready.
+        """
+        return {
+            "per_kind": {
+                kind.value: int(count)
+                for kind, count in self._per_kind.items()
+            },
+            "per_site": self._per_site.copy(),
+            "coordinator_sent": int(self._coordinator_sent),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore tallies captured by :meth:`state_dict` (in place)."""
+        per_site = np.asarray(state["per_site"], dtype=np.int64)
+        if per_site.shape != self._per_site.shape:
+            raise ValueError(
+                f"per_site has shape {per_site.shape}, log expects "
+                f"{self._per_site.shape}"
+            )
+        per_kind = dict(state["per_kind"])
+        unknown = set(per_kind) - {kind.value for kind in MessageKind}
+        if unknown:
+            raise ValueError(f"unknown message kinds in state: {sorted(unknown)}")
+        self._per_kind = {
+            kind: int(per_kind.get(kind.value, 0)) for kind in MessageKind
+        }
+        self._per_site[...] = per_site
+        self._coordinator_sent = int(state["coordinator_sent"])
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MessageLog(total={self.total}, kinds={self.snapshot()})"

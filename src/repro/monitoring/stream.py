@@ -12,12 +12,15 @@ import abc
 import numpy as np
 
 from repro.errors import StreamError
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, restore_generator_state
 from repro.utils.validation import check_positive_int
 
 
 class StreamPartitioner(abc.ABC):
     """Assigns each stream item to one of ``k`` sites."""
+
+    #: Registry name of the partitioner, recorded in session snapshots.
+    kind: str = "abstract"
 
     def __init__(self, n_sites: int) -> None:
         self.n_sites = check_positive_int(n_sites, "n_sites")
@@ -31,9 +34,35 @@ class StreamPartitioner(abc.ABC):
         sites = self.assign(m)
         return np.bincount(sites, minlength=self.n_sites) / m
 
+    # ------------------------------------------------------------------
+    # Snapshot protocol: everything a resumed session needs to continue
+    # the site-assignment stream byte-identically.  All values must be
+    # JSON-serializable.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        return {"kind": self.kind}
+
+    def load_state_dict(self, state: dict) -> None:
+        if state.get("kind") != self.kind:
+            raise StreamError(
+                f"snapshot holds a {state.get('kind')!r} partitioner, "
+                f"cannot restore into {self.kind!r}"
+            )
+
+    def _rng_state(self, rng: np.random.Generator) -> dict:
+        return rng.bit_generator.state
+
+    def _load_rng_state(self, rng: np.random.Generator, rng_state) -> np.random.Generator:
+        try:
+            return restore_generator_state(rng, rng_state)
+        except ValueError as exc:
+            raise StreamError(str(exc)) from exc
+
 
 class UniformPartitioner(StreamPartitioner):
     """Each event goes to a uniformly random site (the paper's setup)."""
+
+    kind = "uniform"
 
     def __init__(self, n_sites: int, *, seed=None) -> None:
         super().__init__(n_sites)
@@ -43,9 +72,20 @@ class UniformPartitioner(StreamPartitioner):
         m = check_positive_int(m, "m")
         return self._rng.integers(0, self.n_sites, size=m)
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["rng_state"] = self._rng_state(self._rng)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._rng = self._load_rng_state(self._rng, state["rng_state"])
+
 
 class RoundRobinPartitioner(StreamPartitioner):
     """Deterministic rotation through sites; perfectly balanced."""
+
+    kind = "round-robin"
 
     def __init__(self, n_sites: int, *, start: int = 0) -> None:
         super().__init__(n_sites)
@@ -59,6 +99,15 @@ class RoundRobinPartitioner(StreamPartitioner):
         self._next = int((self._next + m) % self.n_sites)
         return out
 
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["next"] = int(self._next)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self._next = int(state["next"]) % self.n_sites
+
 
 class ZipfPartitioner(StreamPartitioner):
     """Skewed assignment: site ``i`` receives share proportional to
@@ -67,6 +116,8 @@ class ZipfPartitioner(StreamPartitioner):
     ``exponent = 0`` recovers the uniform distribution; larger exponents
     concentrate the stream on the first few sites (paper future work (1)).
     """
+
+    kind = "zipf"
 
     def __init__(self, n_sites: int, *, exponent: float = 1.0, seed=None) -> None:
         super().__init__(n_sites)
@@ -80,3 +131,39 @@ class ZipfPartitioner(StreamPartitioner):
     def assign(self, m: int) -> np.ndarray:
         m = check_positive_int(m, "m")
         return self._rng.choice(self.n_sites, size=m, p=self._probabilities)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["exponent"] = self.exponent
+        state["rng_state"] = self._rng_state(self._rng)
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        if float(state["exponent"]) != self.exponent:
+            raise StreamError(
+                f"snapshot holds a zipf partitioner with exponent "
+                f"{state['exponent']}, cannot restore into exponent "
+                f"{self.exponent}"
+            )
+        self._rng = self._load_rng_state(self._rng, state["rng_state"])
+
+
+#: Partitioner registry names (the spec/CLI vocabulary).
+PARTITIONERS = ("uniform", "round-robin", "zipf")
+
+
+def make_partitioner(
+    name: str, n_sites: int, *, seed=None, exponent: float = 1.0
+) -> StreamPartitioner:
+    """Build a stream partitioner by its registry/CLI name."""
+    key = str(name).strip().lower().replace("_", "-")
+    if key == "uniform":
+        return UniformPartitioner(n_sites, seed=seed)
+    if key == "round-robin":
+        return RoundRobinPartitioner(n_sites)
+    if key == "zipf":
+        return ZipfPartitioner(n_sites, exponent=exponent, seed=seed)
+    raise StreamError(
+        f"unknown partitioner {name!r}; expected one of {PARTITIONERS}"
+    )

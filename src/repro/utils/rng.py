@@ -15,6 +15,26 @@ import numpy as np
 SeedLike = "int | np.random.Generator | RandomSource | None"
 
 
+def restore_generator_state(
+    rng: np.random.Generator, state: dict
+) -> np.random.Generator:
+    """A generator whose bit-generator state is ``state``.
+
+    Reuses ``rng`` when its bit-generator class matches the captured
+    state's; otherwise builds a fresh generator of the right class.
+    Used by the snapshot protocol of the counter banks and stream
+    partitioners.
+    """
+    name = state["bit_generator"]
+    if type(rng.bit_generator).__name__ != name:
+        bit_generator_cls = getattr(np.random, name, None)
+        if bit_generator_cls is None:
+            raise ValueError(f"cannot restore unknown bit generator {name!r}")
+        rng = np.random.Generator(bit_generator_cls())
+    rng.bit_generator.state = state
+    return rng
+
+
 def as_generator(seed) -> np.random.Generator:
     """Coerce ``seed`` into a :class:`numpy.random.Generator`.
 

@@ -5,18 +5,22 @@ import pytest
 
 from repro import (
     ALGORITHMS,
+    EstimatorSpec,
     ForwardSampler,
     UniformPartitioner,
-    make_estimator,
 )
-from repro.errors import AllocationError, StreamError
+from repro.errors import AllocationError, CounterError, SpecError, StreamError
+
+
+def build(network, algorithm, **kwargs):
+    return EstimatorSpec(network, algorithm, **kwargs).build()
 
 
 class TestExactEstimator:
     def test_message_count_is_2nm(self, alarm_net):
         # Lemma 5 / Table III: EXACTMLE costs exactly 2n messages per event.
         m, k = 1_500, 7
-        estimator = make_estimator(alarm_net, "exact", n_sites=k)
+        estimator = build(alarm_net, "exact", n_sites=k)
         data = ForwardSampler(alarm_net, seed=11).sample(m)
         sites = UniformPartitioner(k, seed=12).assign(m)
         estimator.update_batch(data, sites)
@@ -25,7 +29,7 @@ class TestExactEstimator:
 
     def test_query_is_product_of_empirical_cpds(self, small_net):
         m, k = 4_000, 4
-        estimator = make_estimator(small_net, "exact", n_sites=k)
+        estimator = build(small_net, "exact", n_sites=k)
         data = ForwardSampler(small_net, seed=21).sample(m)
         sites = UniformPartitioner(k, seed=22).assign(m)
         estimator.update_batch(data, sites)
@@ -44,7 +48,7 @@ class TestExactEstimator:
         assert estimator.query(row) == pytest.approx(expected, rel=1e-9)
 
     def test_log_query_batch_matches_scalar(self, small_net):
-        estimator = make_estimator(small_net, "exact", n_sites=3)
+        estimator = build(small_net, "exact", n_sites=3)
         data = ForwardSampler(small_net, seed=31).sample(500)
         sites = UniformPartitioner(3, seed=32).assign(500)
         estimator.update_batch(data, sites)
@@ -56,7 +60,7 @@ class TestExactEstimator:
 class TestNonuniformRecovery:
     def test_recovers_cpds_on_alarm(self, alarm_net):
         m, k = 20_000, 10
-        estimator = make_estimator(
+        estimator = build(
             alarm_net, "nonuniform", eps=0.1, n_sites=k, seed=3
         )
         data = ForwardSampler(alarm_net, seed=1).sample(m)
@@ -82,7 +86,7 @@ class TestNonuniformRecovery:
         assert float(np.mean(errors)) < 0.05
 
     def test_learned_network_is_valid(self, small_net):
-        estimator = make_estimator(small_net, "nonuniform", eps=0.2, n_sites=4,
+        estimator = build(small_net, "nonuniform", eps=0.2, n_sites=4,
                                    seed=9)
         data = ForwardSampler(small_net, seed=41).sample(3_000)
         sites = UniformPartitioner(4, seed=42).assign(3_000)
@@ -103,7 +107,7 @@ class TestMessageOrdering:
         sites = UniformPartitioner(k, seed=2).assign(m)
         messages = {}
         for algorithm in ALGORITHMS:
-            estimator = make_estimator(net, algorithm, eps=eps, n_sites=k,
+            estimator = build(net, algorithm, eps=eps, n_sites=k,
                                        seed=5)
             estimator.update_batch(data, sites)
             messages[algorithm] = estimator.total_messages
@@ -119,7 +123,7 @@ class TestMessageOrdering:
 
 class TestValidation:
     def test_update_batch_input_errors(self, small_net):
-        estimator = make_estimator(small_net, "exact", n_sites=4)
+        estimator = build(small_net, "exact", n_sites=4)
         good = np.zeros((3, 4), dtype=np.int64)
         with pytest.raises(StreamError):  # wrong width
             estimator.update_batch(np.zeros((3, 5), dtype=np.int64), [0, 1, 2])
@@ -136,12 +140,16 @@ class TestValidation:
 
     def test_unknown_algorithm_and_backend(self, small_net):
         with pytest.raises(AllocationError):
-            make_estimator(small_net, "no-such-algorithm")
-        with pytest.raises(AllocationError):
-            make_estimator(small_net, "nonuniform", counter_backend="bogus")
+            build(small_net, "no-such-algorithm")
+        with pytest.raises(CounterError):
+            build(small_net, "nonuniform", counter_backend="bogus")
+        with pytest.raises(SpecError):
+            build(small_net, "nonuniform", hyz_engine="warp")
+        with pytest.raises(SpecError):
+            build(small_net, "nonuniform", eps=1.5)
 
     def test_empty_batch_is_a_noop(self, small_net):
-        estimator = make_estimator(small_net, "exact", n_sites=2)
+        estimator = build(small_net, "exact", n_sites=2)
         estimator.update_batch(np.zeros((0, 4), dtype=np.int64), [])
         assert estimator.events_seen == 0
         assert estimator.total_messages == 0

@@ -9,12 +9,16 @@ import numpy as np
 import pytest
 
 from repro import (
+    EstimatorSpec,
     ForwardSampler,
     UniformPartitioner,
     benchmark_hyz_engines,
     benchmark_update_strategies,
-    make_estimator,
 )
+
+
+def make_estimator(net, algorithm, **kwargs):
+    return EstimatorSpec(net, algorithm, **kwargs).build()
 
 STRATEGIES = ("masked", "argsort", "dense", "auto")
 

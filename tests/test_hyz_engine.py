@@ -10,9 +10,9 @@ per-increment oracle — see ``docs/hyz-protocol.md``.
 import numpy as np
 import pytest
 
-from repro import HYZCounterBank, make_estimator
+from repro import EstimatorSpec, HYZCounterBank
 from repro.counters.reference import ReferenceHYZCounter
-from repro.errors import CounterError
+from repro.errors import CounterError, SpecError
 
 ENGINES = ("vectorized", "sequential")
 
@@ -183,16 +183,16 @@ class TestSeededDeterminism:
 
 
 class TestEstimatorEngineRouting:
-    def test_make_estimator_routes_engine(self, alarm_net):
+    def test_spec_routes_engine(self, alarm_net):
         for engine in ENGINES:
-            estimator = make_estimator(
+            estimator = EstimatorSpec(
                 alarm_net, "nonuniform", eps=0.2, n_sites=4, seed=0,
                 hyz_engine=engine,
-            )
+            ).build()
             assert estimator.bank.engine == engine
 
-    def test_unknown_engine_raises_at_construction(self, alarm_net):
-        with pytest.raises(CounterError):
-            make_estimator(
+    def test_unknown_engine_raises_at_spec_validation(self, alarm_net):
+        with pytest.raises(SpecError):
+            EstimatorSpec(
                 alarm_net, "uniform", eps=0.2, n_sites=4, hyz_engine="warp"
             )
