@@ -7,7 +7,7 @@ test:
 	$(PYTHON) -m pytest -q
 
 smoke:
-	rm -rf /tmp/repro_smoke_resume
+	rm -rf /tmp/repro_smoke_resume /tmp/repro_smoke_chunked
 	$(PYTHON) -m repro.experiments messages --network alarm \
 	    --algorithms exact,nonuniform --events 1000 --sites 5 \
 	    --eval-events 200 --checkpoints 2 \
@@ -17,11 +17,41 @@ smoke:
 	    --algorithms exact,nonuniform --events 1000 --sites 5 \
 	    --eval-events 200 --checkpoints 2 \
 	    --resume-dir /tmp/repro_smoke_resume --out /tmp/repro_smoke.json
+	# A 2-worker multiprocess grid must match the serial/resumed reference.
+	$(PYTHON) -m repro.experiments messages --network alarm \
+	    --algorithms exact,nonuniform --events 1000 --sites 5 \
+	    --eval-events 200 --checkpoints 2 \
+	    --executor multiprocess --jobs 2 --out /tmp/repro_smoke_mp.json
+	$(PYTHON) tools/compare_bench.py /tmp/repro_smoke.json /tmp/repro_smoke_mp.json
+	# Kill a chunked long-stream run at a checkpoint, resume it, and check
+	# the result matches an uninterrupted serial run.
+	$(PYTHON) -m repro.experiments messages --network alarm \
+	    --algorithms nonuniform --events 1200 --sites 4 \
+	    --eval-events 150 --checkpoints 4 --executor chunked \
+	    --resume-dir /tmp/repro_smoke_chunked --stop-after 600 \
+	    --out /tmp/repro_smoke_chunked_partial.json; test $$? -eq 3
+	$(PYTHON) -m repro.experiments messages --network alarm \
+	    --algorithms nonuniform --events 1200 --sites 4 \
+	    --eval-events 150 --checkpoints 4 --executor chunked \
+	    --resume-dir /tmp/repro_smoke_chunked \
+	    --out /tmp/repro_smoke_chunked.json
+	$(PYTHON) -m repro.experiments messages --network alarm \
+	    --algorithms nonuniform --events 1200 --sites 4 \
+	    --eval-events 150 --checkpoints 4 \
+	    --out /tmp/repro_smoke_chunked_ref.json
+	$(PYTHON) tools/compare_bench.py /tmp/repro_smoke_chunked.json \
+	    /tmp/repro_smoke_chunked_ref.json
 	$(PYTHON) -m repro.experiments classify --features 6 --events 2000 \
 	    --eval-events 300 --sites 4 --out /tmp/repro_smoke_classify.json
 	$(PYTHON) -m repro.experiments separation --events-values 500,1000 \
 	    --example-events 800 --eval-events 50 --sites 3 \
 	    --out /tmp/repro_smoke_separation.json
+	$(PYTHON) -m repro.experiments long-crossover --events-values 600,1200 \
+	    --checkpoints 3 --sites 3 --eval-events 100 --jobs 2 \
+	    --out /tmp/repro_smoke_long.json
+	$(PYTHON) -m repro.experiments figures /tmp/repro_smoke_long.json
+	$(PYTHON) -m repro.experiments figures /tmp/repro_smoke.json \
+	    --view messages
 	$(PYTHON) -m repro.experiments bench --events 2000 --sites 6 \
 	    --repeats 1 --out /tmp/repro_smoke_bench.json
 	$(PYTHON) -m repro.experiments bench-hyz --events 2000 --sites 6 \

@@ -8,18 +8,27 @@ an object — incremental :meth:`~MonitoringSession.ingest` /
 classification, live :meth:`~MonitoringSession.metrics`, and full state
 externalization: :meth:`~MonitoringSession.snapshot` persists the
 estimator, counter-bank arrays, message log, partitioner, and every RNG
-bit-generator state to a bundle directory (``arrays.npz`` +
+bit-generator state to a bundle directory (versioned ``.npz`` arrays +
 ``meta.json``) that :meth:`~MonitoringSession.restore` resumes
 **byte-identically** mid-stream, in the same or a fresh process.
 
 Snapshot bundle layout (schema ``repro-session-v1``)::
 
     <bundle>/
-    ├── meta.json     schema, the serialized EstimatorSpec, events_seen,
-    │                 message tallies by kind, partitioner + bank RNG
-    │                 states, caller extras
-    └── arrays.npz    counter-bank arrays (``bank.*``) and the per-site
-                      message tallies (``log.per_site``)
+    ├── meta.json           schema, the serialized EstimatorSpec,
+    │                       events_seen, message tallies by kind,
+    │                       partitioner + bank RNG states, caller
+    │                       extras, and the arrays filename
+    └── arrays-<m>.npz      counter-bank arrays (``bank.*``) and the
+                            per-site message tallies (``log.per_site``)
+
+Snapshots are **crash-atomic**: the arrays land under a stream-position-
+versioned name first, then one atomic ``meta.json`` replace commits the
+bundle (``meta.json`` names its arrays file; stale arrays files are
+cleaned afterwards).  A process killed mid-snapshot therefore leaves
+either the previous consistent bundle or the new one, never a torn mix
+— which is what lets the chunked executor re-run a dead worker's
+segment from the surviving bundle.
 
 Restoring rebuilds the session from the embedded spec (layout and
 configuration are *derived*, never stored) and then overwrites all
@@ -30,6 +39,7 @@ the same network layout.
 from __future__ import annotations
 
 import json
+import os
 from collections.abc import Iterable, Mapping
 from pathlib import Path
 
@@ -220,6 +230,10 @@ class MonitoringSession:
         for the caller (the experiment runner stashes its grid progress
         there); it comes back as ``restored_extra`` after
         :meth:`restore`.  Returns the bundle path.
+
+        The write is crash-atomic: arrays first (under a versioned
+        name), then one atomic ``meta.json`` replace commits the bundle
+        — a crash at any point leaves the previous bundle intact.
         """
         bundle = Path(path)
         bundle.mkdir(parents=True, exist_ok=True)
@@ -234,8 +248,10 @@ class MonitoringSession:
                 bank_meta[key] = value
         log_state = self.message_log.state_dict()
         arrays["log.per_site"] = log_state.pop("per_site")
+        arrays_name = f"arrays-{int(estimator_state['events_seen'])}.npz"
         meta = {
             "schema": SNAPSHOT_SCHEMA,
+            "arrays": arrays_name,
             "spec": self.spec.to_dict(),
             "estimator": estimator_state,
             "bank": bank_meta,
@@ -243,15 +259,45 @@ class MonitoringSession:
             "partitioner": self.partitioner.state_dict(),
             "extra": extra,
         }
-        np.savez_compressed(bundle / _ARRAYS_NAME, **arrays)
+        tmp_arrays = bundle / f".tmp-{arrays_name}"
+        np.savez_compressed(tmp_arrays, **arrays)
+        os.replace(tmp_arrays, bundle / arrays_name)
         # No sort_keys: an inline network's ``parents`` mapping is
         # order-significant (it seeds the rebuilt DAG's topological
         # tie-breaking, and with it the counter layout), so the bundle
         # must preserve document order.
-        (bundle / _META_NAME).write_text(
-            json.dumps(meta, indent=2) + "\n"
-        )
+        tmp_meta = bundle / f".tmp-{_META_NAME}"
+        tmp_meta.write_text(json.dumps(meta, indent=2) + "\n")
+        os.replace(tmp_meta, bundle / _META_NAME)  # the commit point
+        for stale in (*bundle.glob("*.npz"), *bundle.glob(".tmp-*")):
+            if stale.name != arrays_name:
+                stale.unlink(missing_ok=True)
         return bundle
+
+    @staticmethod
+    def peek(path) -> dict:
+        """Read a snapshot bundle's metadata without rebuilding anything.
+
+        Returns the (schema-checked) ``meta.json`` payload — spec,
+        estimator progress, and caller extras — so drivers can inspect a
+        bundle's stream position cheaply before deciding whether (and
+        where) to resume it.  Raises :class:`SessionError` when no
+        bundle exists at ``path`` or its schema is unknown.
+        """
+        meta_path = Path(path) / _META_NAME
+        if not meta_path.is_file():
+            raise SessionError(f"no session snapshot at {Path(path)}")
+        try:
+            meta = json.loads(meta_path.read_text())
+        except ValueError as exc:
+            raise SessionError(
+                f"corrupt snapshot metadata at {meta_path}: {exc}"
+            ) from exc
+        if not isinstance(meta, dict) or meta.get("schema") != SNAPSHOT_SCHEMA:
+            raise SessionError(
+                f"unsupported snapshot schema at {meta_path}"
+            )
+        return meta
 
     @classmethod
     def restore(
@@ -267,14 +313,15 @@ class MonitoringSession:
         never stopped.
         """
         bundle = Path(path)
-        meta_path = bundle / _META_NAME
-        arrays_path = bundle / _ARRAYS_NAME
-        if not meta_path.is_file() or not arrays_path.is_file():
-            raise SessionError(f"no session snapshot at {bundle}")
-        meta = json.loads(meta_path.read_text())
-        if meta.get("schema") != SNAPSHOT_SCHEMA:
+        meta = cls.peek(bundle)
+        # meta.json names its arrays file (older bundles used a fixed
+        # name), so a committed bundle can never pair with the wrong
+        # arrays version.
+        arrays_path = bundle / meta.get("arrays", _ARRAYS_NAME)
+        if not arrays_path.is_file():
             raise SessionError(
-                f"unsupported snapshot schema {meta.get('schema')!r}"
+                f"snapshot at {bundle} references missing arrays file "
+                f"{arrays_path.name}"
             )
         spec = EstimatorSpec.from_dict(meta["spec"])
         session = cls(spec, network=network)

@@ -63,3 +63,7 @@ class SpecError(ReproError):
 
 class SessionError(ReproError):
     """A monitoring session was misused or a snapshot cannot be restored."""
+
+
+class ExecutionError(ReproError):
+    """A task-graph executor was misconfigured or lost a task permanently."""

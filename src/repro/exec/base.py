@@ -1,0 +1,249 @@
+"""Executor protocol, result-cache layer, and the executor registry.
+
+An :class:`Executor` consumes a task graph — for this harness a list of
+independent :class:`~repro.exec.task.RunTask` descriptors — and returns
+an :class:`ExecutionOutcome` whose ``results`` align one-to-one with the
+input tasks.  The determinism contract (``docs/execution.md``) requires
+every executor to produce identical results for identical descriptors,
+so the *choice* of executor is an operational knob, never an experiment
+parameter.
+
+The shared :meth:`Executor.run` driver owns everything resume-related,
+identically for all executors:
+
+- finished tasks are cached as ``<resume_dir>/<cache_key>.result.json``
+  and loaded instead of re-run;
+- unfinished tasks snapshot their sessions under
+  ``<resume_dir>/<cache_key>.ckpt`` and resume from the bundle;
+- ``stop_after`` interrupts tasks at the first checkpoint past that many
+  events, leaving resumable snapshots (the smoke-test "kill").
+
+Subclasses only implement :meth:`Executor._execute`, yielding
+``(task_index, RunResult | None)`` pairs in any completion order.
+
+Executors are pluggable through the same registry pattern as the
+algorithm/backend registries of :mod:`repro.api.registry`:
+:func:`register_executor` adds entries, :func:`make_executor` builds one
+from its CLI name plus an options mapping.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ExecutionError
+from repro.exec.task import RunTask
+
+if TYPE_CHECKING:  # pragma: no cover - the runtime import lives inside
+    # Executor.run: repro.experiments.runner imports this module at
+    # module level, so importing results here would close a cycle.
+    from repro.experiments.results import RunResult
+
+
+@dataclass
+class ExecutionOutcome:
+    """What an executor did with one task graph.
+
+    ``results[i]`` is the :class:`RunResult` of ``tasks[i]`` — or
+    ``None`` when that task was interrupted by ``stop_after`` (its cache
+    key then appears in ``incomplete``).  ``cached`` counts tasks served
+    from ``.result.json`` caches without running.
+    """
+
+    results: list = field(default_factory=list)
+    incomplete: list = field(default_factory=list)
+    cached: int = 0
+
+    @property
+    def completed(self) -> list:
+        """The finished results, in task order."""
+        return [r for r in self.results if r is not None]
+
+
+class Executor(abc.ABC):
+    """Drives a list of :class:`RunTask` descriptors to results."""
+
+    #: Registry/CLI name of the executor.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _result_path(resume_dir, task: RunTask):
+        return (
+            None if resume_dir is None
+            else Path(resume_dir) / f"{task.cache_key}.result.json"
+        )
+
+    @staticmethod
+    def _snapshot_path(resume_dir, task: RunTask):
+        return (
+            None if resume_dir is None
+            else Path(resume_dir) / f"{task.cache_key}.ckpt"
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        tasks: Iterable[RunTask],
+        *,
+        resume_dir=None,
+        stop_after: int | None = None,
+    ) -> ExecutionOutcome:
+        """Execute the graph, honoring the shared resume-cache contract."""
+        from repro.experiments.results import RunResult
+
+        tasks = list(tasks)
+        keys = [task.cache_key for task in tasks]
+        if len(set(keys)) != len(keys):
+            dupes = sorted({k for k in keys if keys.count(k) > 1})
+            raise ExecutionError(
+                f"task graph contains duplicate descriptors: {dupes}"
+            )
+        if stop_after is not None:
+            stop_after = int(stop_after)
+            if resume_dir is None:
+                raise ExecutionError(
+                    "stop_after without resume_dir would discard the partial "
+                    "runs; pass a resume_dir to persist their snapshots"
+                )
+        if resume_dir is not None:
+            resume_dir = Path(resume_dir)
+            resume_dir.mkdir(parents=True, exist_ok=True)
+
+        results: list = [None] * len(tasks)
+        pending: list[int] = []
+        cached = 0
+        for index, task in enumerate(tasks):
+            path = self._result_path(resume_dir, task)
+            if path is not None and path.is_file():
+                results[index] = RunResult.from_dict(
+                    json.loads(path.read_text())
+                )
+                cached += 1
+            else:
+                pending.append(index)
+
+        if pending:
+            for index, run in self._execute(
+                tasks, pending, resume_dir=resume_dir, stop_after=stop_after
+            ):
+                results[index] = run
+                path = self._result_path(resume_dir, tasks[index])
+                if run is not None and path is not None:
+                    path.write_text(
+                        json.dumps(run.to_dict(), sort_keys=True) + "\n"
+                    )
+        incomplete = [keys[i] for i in pending if results[i] is None]
+        return ExecutionOutcome(
+            results=results, incomplete=incomplete, cached=cached
+        )
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _execute(
+        self,
+        tasks: Sequence[RunTask],
+        pending: Sequence[int],
+        *,
+        resume_dir,
+        stop_after: int | None,
+    ) -> Iterator[tuple[int, "RunResult | None"]]:
+        """Yield ``(task_index, result)`` for every pending task.
+
+        ``result`` is ``None`` for a task interrupted by ``stop_after``
+        (its snapshot bundle stays under ``resume_dir``).  Completion
+        order is free; the shared driver re-aligns results to tasks.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExecutorEntry:
+    """One registered executor: name, factory, and a one-line summary.
+
+    ``factory`` receives a plain options dict (the CLI's ``--jobs`` /
+    ``--segment-events`` values, ``None`` entries already dropped) and
+    must reject keys it does not understand.
+    """
+
+    name: str
+    factory: Callable[[dict], Executor]
+    description: str = ""
+
+
+_EXECUTORS: dict[str, ExecutorEntry] = {}
+
+
+def register_executor(
+    name: str,
+    factory: Callable[[dict], Executor],
+    *,
+    description: str = "",
+    overwrite: bool = False,
+) -> ExecutorEntry:
+    """Register an executor factory under ``name`` and return its entry."""
+    key = str(name).strip().lower()
+    if not key:
+        raise ExecutionError("executor name must be non-empty")
+    if key in _EXECUTORS and not overwrite:
+        raise ExecutionError(
+            f"executor {key!r} is already registered; pass overwrite=True "
+            "to replace it"
+        )
+    entry = ExecutorEntry(name=key, factory=factory, description=description)
+    _EXECUTORS[key] = entry
+    return entry
+
+
+def get_executor(name: str) -> ExecutorEntry:
+    """Look up a registered executor (raises :class:`ExecutionError`)."""
+    key = str(name).strip().lower()
+    if key not in _EXECUTORS:
+        raise ExecutionError(
+            f"unknown executor {name!r}; expected one of "
+            f"{tuple(sorted(_EXECUTORS))}"
+        )
+    return _EXECUTORS[key]
+
+
+def executor_names() -> tuple[str, ...]:
+    """All registered executor names, sorted."""
+    return tuple(sorted(_EXECUTORS))
+
+
+def make_executor(executor, **options) -> Executor:
+    """Coerce ``executor`` into a ready instance.
+
+    Accepts an :class:`Executor` instance (returned unchanged; options
+    must then all be ``None``) or a registered name, whose factory
+    receives the non-``None`` options.
+    """
+    options = {k: v for k, v in options.items() if v is not None}
+    if isinstance(executor, Executor):
+        if options:
+            raise ExecutionError(
+                f"options {tuple(sorted(options))} only apply when naming "
+                "an executor; configure the instance directly instead"
+            )
+        return executor
+    return get_executor(executor).factory(options)
+
+
+def _reject_unknown_options(options: dict, name: str, known=()) -> None:
+    unknown = sorted(set(options) - set(known))
+    if unknown:
+        raise ExecutionError(
+            f"executor {name!r} does not understand options {unknown}; "
+            f"it accepts {sorted(known) or 'none'}"
+        )

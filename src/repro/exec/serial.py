@@ -1,0 +1,37 @@
+"""The in-process executor: one task after another, no workers.
+
+The reference implementation of the determinism contract — every other
+executor must reproduce its output byte-for-byte (wall-clock fields
+aside).  It is also the fastest choice for small grids, where process
+start-up would dominate.
+"""
+
+from __future__ import annotations
+
+from repro.exec.base import Executor, _reject_unknown_options, register_executor
+
+
+class SerialExecutor(Executor):
+    """Runs every pending task in the calling process, in task order."""
+
+    name = "serial"
+
+    def _execute(self, tasks, pending, *, resume_dir, stop_after):
+        for index in pending:
+            task = tasks[index]
+            yield index, task.execute(
+                snapshot_path=self._snapshot_path(resume_dir, task),
+                stop_after=stop_after,
+            )
+
+
+def _serial_factory(options: dict) -> SerialExecutor:
+    _reject_unknown_options(options, "serial")
+    return SerialExecutor()
+
+
+register_executor(
+    "serial",
+    _serial_factory,
+    description="run tasks one by one in the calling process (reference)",
+)

@@ -1,16 +1,20 @@
 """The experiment harness: the paper's evaluation as a runnable subsystem.
 
-- :mod:`repro.experiments.runner` — :class:`ExperimentRunner` drives
-  (network, algorithm, partitioner, eps, k, m) grids through
-  :class:`~repro.api.session.MonitoringSession` objects, records
-  messages, accuracy, and modeled runtime, and checkpoints/resumes runs
-  via session snapshots.
+- :mod:`repro.experiments.runner` — :class:`ExperimentRunner` runs one
+  (network, algorithm, partitioner, eps, k, m) point through a
+  :class:`~repro.api.session.MonitoringSession` (``run_one``), and
+  plans grids as :class:`~repro.exec.task.RunTask` graphs
+  (``plan_grid``) that pluggable :mod:`repro.exec` executors drive
+  serially, across worker processes, or as snapshot-bounded segments
+  (``run_grid``).
 - :mod:`repro.experiments.results` — result dataclasses with
   ``BENCH_*.json``-style serialization.
 - :mod:`repro.experiments.bench` — microbenchmarks for the training hot
   path (update_batch grouping strategies, HYZ span-replay engines).
 - :mod:`repro.experiments.presets` — paper-scenario presets: the Sec. V
-  classification comparison and the Sec. IV-E separation sweep.
+  classification comparison, the Sec. IV-E separation sweep, and the
+  long-stream crossover chart.
+- :mod:`repro.experiments.figures` — ASCII plots from ``BENCH_*.json``.
 - :mod:`repro.experiments.cli` — ``python -m repro.experiments`` with one
   subcommand per figure family.
 """
@@ -21,6 +25,7 @@ from repro.experiments.bench import (
 )
 from repro.experiments.presets import (
     classification_experiment,
+    long_crossover_experiment,
     separation_experiment,
 )
 from repro.experiments.results import (
@@ -28,11 +33,11 @@ from repro.experiments.results import (
     CheckpointRecord,
     ExperimentResult,
     RunResult,
+    strip_timing,
 )
 from repro.experiments.runner import (
     ExperimentRunner,
     checkpoint_schedule,
-    grid_point_key,
     make_partitioner,
 )
 
@@ -43,10 +48,11 @@ __all__ = [
     "ExperimentResult",
     "ExperimentRunner",
     "checkpoint_schedule",
-    "grid_point_key",
     "make_partitioner",
     "benchmark_hyz_engines",
     "benchmark_update_strategies",
     "classification_experiment",
+    "long_crossover_experiment",
     "separation_experiment",
+    "strip_timing",
 ]

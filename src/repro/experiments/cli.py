@@ -11,19 +11,29 @@ One subcommand per figure family of Zhang, Tirthapura & Cormode (ICDE 2018):
   Definition 4 / Theorem 3): agreement rate and error-rate gap.
 - ``separation`` — the Sec. IV-E NONUNIFORM-vs-UNIFORM crossover sweep
   on NEW-ALARM.
+- ``long-crossover`` — the NEW-ALARM crossover pushed past m >~ 1M via
+  the chunked executor.
+- ``figures``    — ASCII plots from any ``BENCH_*.json`` document.
 - ``bench``      — microbenchmark of the update_batch grouping strategies.
 - ``bench-hyz``  — microbenchmark of the HYZ span-replay engines.
 
 Each subcommand prints an aligned summary table to stderr and writes a
 ``BENCH_*.json``-style document to ``--out`` (stdout by default).
 
+Grid subcommands pick their driver with ``--executor`` (``serial``,
+``multiprocess``, ``chunked`` — see ``docs/execution.md``); every
+executor produces byte-identical results (wall-clock fields aside), so
+``--executor multiprocess --jobs 4`` is purely a speed knob, and
+``--executor chunked`` additionally survives worker death mid-run.
+
 Grid subcommands are resumable: ``--resume-dir DIR`` checkpoints every
-run's session there (snapshot bundles) and caches finished results, so
-re-invoking the same command continues where it left off.
-``--stop-after N`` deliberately interrupts each run at the first
-checkpoint past ``N`` events — exit code 3 signals "snapshots saved,
-re-run to finish", which is how ``make smoke`` exercises the
-snapshot→restore cycle end to end.
+run's session there (snapshot bundles) and caches finished results —
+keyed on a hash of the full task descriptor, so reordered or extended
+grids reuse exactly the cells that match — and re-invoking the same
+command continues where it left off.  ``--stop-after N`` deliberately
+interrupts each run at the first checkpoint past ``N`` events — exit
+code 3 signals "snapshots saved, re-run to finish", which is how
+``make smoke`` exercises the snapshot→restore cycle end to end.
 """
 
 from __future__ import annotations
@@ -34,12 +44,15 @@ import sys
 
 from repro.core.algorithms import ALGORITHMS
 from repro.counters.hyz import ENGINES
+from repro.exec.base import executor_names
+from repro.experiments import figures
 from repro.experiments.bench import (
     benchmark_hyz_engines,
     benchmark_update_strategies,
 )
 from repro.experiments.presets import (
     classification_experiment,
+    long_crossover_experiment,
     separation_experiment,
 )
 from repro.experiments.runner import ExperimentRunner
@@ -90,6 +103,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--eval-events", type=int, default=2_000,
                         help="held-out accuracy sample size")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--executor", default="serial", choices=executor_names(),
+        help="task-graph driver (default: %(default)s); all executors "
+        "produce identical results",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for parallel executors "
+        "(default: all CPU cores for multiprocess, 1 for chunked)",
+    )
+    parser.add_argument(
+        "--segment-events", type=int, default=None,
+        help="minimum events between chunked-executor snapshot boundaries "
+        "(default: every checkpoint)",
+    )
     parser.add_argument(
         "--resume-dir", default=None,
         help="checkpoint sessions and cache results here; re-invoking the "
@@ -159,6 +187,9 @@ def _grid_command(args, *, name, eps_values=None, site_counts=None) -> int:
         hyz_engine=args.hyz_engine,
         resume_dir=args.resume_dir,
         stop_after=args.stop_after,
+        executor=args.executor,
+        jobs=args.jobs,
+        segment_events=args.segment_events,
     )
     _emit(result.to_dict(), args.out, summary=_run_table(result))
     incomplete = result.params.get("incomplete_runs", [])
@@ -261,6 +292,52 @@ def main(argv=None) -> int:
                               choices=list(ENGINES))
     p_separation.add_argument("--seed", type=int, default=0)
     p_separation.add_argument("--out", default=None)
+
+    p_long = sub.add_parser(
+        "long-crossover",
+        help="NEW-ALARM crossover past m~1M via the chunked executor",
+    )
+    p_long.add_argument(
+        "--events-values", type=_csv_ints,
+        default=[250_000, 500_000, 1_000_000],
+        help="long-stream sweep (default: %(default)s)",
+    )
+    p_long.add_argument("--eps", type=float, default=0.4)
+    p_long.add_argument("--sites", type=int, default=10)
+    p_long.add_argument("--inflated-count", type=int, default=6)
+    p_long.add_argument("--inflated-cardinality", type=int, default=20)
+    p_long.add_argument(
+        "--checkpoints", type=int, default=8,
+        help="checkpoints per run — also the chunked segment boundaries",
+    )
+    p_long.add_argument("--eval-events", type=int, default=200)
+    p_long.add_argument("--hyz-engine", default="vectorized",
+                        choices=list(ENGINES))
+    p_long.add_argument("--seed", type=int, default=0)
+    p_long.add_argument(
+        "--executor", default="chunked", choices=executor_names(),
+        help="task-graph driver (default: %(default)s)",
+    )
+    p_long.add_argument("--jobs", type=int, default=None)
+    p_long.add_argument("--segment-events", type=int, default=None)
+    p_long.add_argument(
+        "--resume-dir", default=None,
+        help="keep snapshot bundles and cached results here so an "
+        "interrupted sweep resumes from the last checkpoint",
+    )
+    p_long.add_argument("--out", default=None)
+
+    p_figures = sub.add_parser(
+        "figures", help="render ASCII plots from a BENCH_*.json document"
+    )
+    p_figures.add_argument("document", help="path to a repro-bench-v1 file")
+    p_figures.add_argument("--view", default="auto",
+                           choices=list(figures.VIEWS))
+    p_figures.add_argument("--width", type=int, default=64)
+    p_figures.add_argument("--height", type=int, default=16)
+    p_figures.add_argument("--out", default=None,
+                           help="write the rendered text here "
+                           "(default: stdout)")
 
     p_bench = sub.add_parser(
         "bench", help="microbenchmark update_batch grouping strategies"
@@ -373,6 +450,53 @@ def main(argv=None) -> int:
                       f"{crossover if crossover is not None else 'not reached'})",
             ),
         )
+        return 0
+    if args.command == "long-crossover":
+        document = long_crossover_experiment(
+            events_values=args.events_values,
+            eps=args.eps,
+            n_sites=args.sites,
+            inflated_count=args.inflated_count,
+            inflated_cardinality=args.inflated_cardinality,
+            checkpoints=args.checkpoints,
+            eval_events=args.eval_events,
+            hyz_engine=args.hyz_engine,
+            seed=args.seed,
+            executor=args.executor,
+            jobs=args.jobs,
+            segment_events=args.segment_events,
+            resume_dir=args.resume_dir,
+        )
+        rows = [
+            [document["params"]["network"], r["n_events"],
+             r["uniform_messages"], r["nonuniform_messages"],
+             r["uniform_over_nonuniform"], r["nonuniform_wins"]]
+            for r in document["results"]
+        ]
+        crossover = document["crossover_events"]
+        _emit(
+            document, args.out,
+            summary=format_table(
+                ["network", "m", "uniform", "nonuniform", "ratio",
+                 "nonuniform-wins"],
+                rows,
+                title=f"long-stream crossover (eps="
+                      f"{document['params']['eps']:g}, crossover="
+                      f"{crossover if crossover is not None else 'not reached'})",
+            ),
+        )
+        return 0
+    if args.command == "figures":
+        document = figures.load_document(args.document)
+        text = figures.render(
+            document, view=args.view, width=args.width, height=args.height
+        )
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {args.out}", file=sys.stderr)
+        else:
+            print(text)
         return 0
     if args.command == "bench":
         document = benchmark_update_strategies(

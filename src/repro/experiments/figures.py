@@ -1,0 +1,155 @@
+"""ASCII figure rendering for ``BENCH_*.json`` documents.
+
+The harness deliberately emits plot-ready JSON instead of images; this
+module closes the loop in the terminal.  Two views cover the paper's
+figure families:
+
+- ``messages`` — total messages vs stream position, one series per run
+  (Figs. 4-6 read along the stream), from any grid document whose
+  ``results`` entries carry ``checkpoints``.
+- ``ratio`` — the UNIFORM/NONUNIFORM message ratio vs stream length
+  (the Sec. IV-E crossover chart), from ``separation`` /
+  ``long-crossover`` documents whose rows carry ``uniform_messages`` and
+  ``nonuniform_messages``; a reference line marks ratio = 1.
+
+``view="auto"`` picks every view the document supports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import EvaluationError
+from repro.utils.tabletext import format_ascii_plot
+
+#: Recognized view names (``auto`` expands to all that apply).
+VIEWS = ("auto", "messages", "ratio")
+
+
+def load_document(path) -> dict:
+    """Read one ``BENCH_*.json`` document (any ``repro-bench-v1`` shape)."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "results" not in payload:
+        raise EvaluationError(
+            f"{path} is not a benchmark document (no 'results' key)"
+        )
+    return payload
+
+
+def _checkpoint_rows(document: dict) -> list[dict]:
+    """Rows carrying per-checkpoint traces: grid ``results``, or the
+    full ``runs`` block that ratio-style documents attach alongside
+    their summary rows."""
+    rows = [r for r in document.get("results", []) if "checkpoints" in r]
+    rows += [r for r in document.get("runs", []) if "checkpoints" in r]
+    return rows
+
+
+def available_views(document: dict) -> list[str]:
+    """The concrete views this document's rows support."""
+    views = []
+    if _checkpoint_rows(document):
+        views.append("messages")
+    if any(
+        "uniform_messages" in row and "nonuniform_messages" in row
+        for row in document.get("results", [])
+    ):
+        views.append("ratio")
+    return views
+
+
+def _run_label(row: dict, rows: list[dict]) -> str:
+    """Label one run by its algorithm plus whatever varies in this doc."""
+    label = str(row.get("algorithm", "run"))
+    for field, prefix in (
+        ("network", ""), ("eps", "eps="), ("n_sites", "k="),
+        ("partitioner", ""), ("zipf_exponent", "zipf="),
+        ("counter_backend", ""), ("n_events", "m="), ("seed", "seed="),
+    ):
+        values = {r.get(field) for r in rows if field in r}
+        if len(values) > 1:
+            label += f" {prefix}{row.get(field)}"
+    return label
+
+
+def _messages_plot(document: dict, *, width: int, height: int) -> str:
+    rows = _checkpoint_rows(document)
+    series: dict[str, list] = {}
+    for row in rows:
+        label = _run_label(row, rows)
+        # Rows the varying fields cannot tell apart still get their own
+        # series rather than silently shadowing one another.
+        if label in series:
+            suffix = 2
+            while f"{label} #{suffix}" in series:
+                suffix += 1
+            label = f"{label} #{suffix}"
+        series[label] = [
+            (c["events"], c["total_messages"]) for c in row["checkpoints"]
+        ]
+    return format_ascii_plot(
+        series,
+        width=width,
+        height=height,
+        title=f"{document.get('benchmark', 'benchmark')}: "
+              "messages along the stream",
+        x_label="events",
+        y_label="messages",
+        logx=True,
+        logy=True,
+    )
+
+
+def _ratio_plot(document: dict, *, width: int, height: int) -> str:
+    rows = [
+        r for r in document.get("results", [])
+        if "uniform_messages" in r and "nonuniform_messages" in r
+    ]
+    points = [
+        (
+            row.get("n_events", index),
+            row["uniform_messages"] / max(row["nonuniform_messages"], 1),
+        )
+        for index, row in enumerate(rows)
+    ]
+    crossover = document.get("crossover_events")
+    title = "uniform/nonuniform message ratio (crossover: " + (
+        f"m={crossover}" if crossover is not None else "not reached"
+    ) + ")"
+    return format_ascii_plot(
+        {"uniform/nonuniform": points},
+        width=width,
+        height=height,
+        title=title,
+        x_label="events",
+        y_label="ratio",
+        logx=True,
+        hline=1.0,
+    )
+
+
+def render(
+    document: dict,
+    *,
+    view: str = "auto",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render the requested view(s) of one document as one text block."""
+    if view not in VIEWS:
+        raise EvaluationError(
+            f"unknown view {view!r}; expected one of {VIEWS}"
+        )
+    supported = available_views(document)
+    wanted = supported if view == "auto" else [view]
+    if not wanted or not set(wanted) <= set(supported):
+        raise EvaluationError(
+            f"document supports views {supported or ['none']}, "
+            f"requested {view!r}"
+        )
+    renderers = {"messages": _messages_plot, "ratio": _ratio_plot}
+    return "\n\n".join(
+        renderers[name](document, width=width, height=height)
+        for name in wanted
+    )

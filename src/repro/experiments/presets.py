@@ -13,8 +13,13 @@ Two experiments that need more than a plain (algorithm, eps, k, m) grid:
   optimal budget split only pays off in the *sampling* regime, i.e. long
   streams / large eps where counters leave exact mode; the preset sweeps
   the stream length and charts the message-ratio crossover.
+- :func:`long_crossover_experiment` — the same NEW-ALARM ratio pushed
+  past the crossover itself (m >~ 1M, beyond the default sweep), driven
+  through the :class:`~repro.exec.chunked.ChunkedExecutor` so each long
+  stream advances checkpoint-by-checkpoint through snapshot bundles and
+  an interrupted invocation resumes instead of starting over.
 
-Both emit ``repro-bench-v1`` documents like every other subcommand.
+All emit ``repro-bench-v1`` documents like every other subcommand.
 """
 
 from __future__ import annotations
@@ -22,11 +27,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.api.spec import EstimatorSpec
+from repro.bn.io import network_to_dict
 from repro.bn.repository import naive_bayes_network, new_alarm
 from repro.core.classification import BayesianClassifier
 from repro.core.theory import separation_example
+from repro.exec.base import make_executor
+from repro.exec.task import RunTask
 from repro.experiments.results import SCHEMA
-from repro.experiments.runner import ExperimentRunner
+from repro.experiments.runner import ExperimentRunner, checkpoint_schedule
 from repro.monitoring.stream import UniformPartitioner
 from repro.bn.sampling import ForwardSampler
 from repro.utils.rng import RandomSource
@@ -267,4 +275,118 @@ def separation_experiment(
         "example": example,
         "crossover_events": crossover,
         "results": results,
+    }
+
+
+def long_crossover_experiment(
+    *,
+    events_values=(250_000, 500_000, 1_000_000),
+    eps: float = 0.4,
+    n_sites: int = 10,
+    inflated_count: int = 6,
+    inflated_cardinality: int = 20,
+    checkpoints: int = 8,
+    eval_events: int = 200,
+    chunk_size: int = 10_000,
+    hyz_engine: str = "vectorized",
+    seed: int = 0,
+    executor="chunked",
+    jobs: int | None = None,
+    segment_events: int | None = None,
+    resume_dir=None,
+) -> dict:
+    """Chart the NEW-ALARM UNIFORM/NONUNIFORM crossover on long streams.
+
+    The default :func:`separation_experiment` sweep stops at m = 150k,
+    where the message ratio is still climbing toward 1; the crossover
+    itself needs m >~ 1M.  This preset builds one
+    :class:`~repro.exec.task.RunTask` per (stream length, algorithm)
+    pair and drives them through the chunked executor by default, so
+    each long run advances checkpoint-by-checkpoint through snapshot
+    bundles: a killed worker costs at most one segment of rework, and
+    with a ``resume_dir`` an interrupted invocation continues from the
+    last bundle instead of starting over.
+
+    Returns a ``repro-bench-v1`` document whose ``results`` rows mirror
+    the separation sweep (ratio + winner per length, plot-ready for the
+    ``figures`` ratio view) and whose ``runs`` carry the full per-run
+    records (checkpoints included, for the messages view).
+    """
+    events_values = sorted(
+        {check_positive_int(m, "events") for m in events_values}
+    )
+    net = new_alarm(
+        inflated_count=inflated_count,
+        inflated_cardinality=inflated_cardinality,
+    )
+    # Serialized inline once so every executor (and every worker) trains
+    # on the identical round-tripped model.
+    network = {"inline": network_to_dict(net)}
+    tasks = [
+        RunTask(
+            network=network,
+            algorithm=algorithm,
+            eps=eps,
+            n_sites=n_sites,
+            n_events=m,
+            checkpoints=tuple(checkpoint_schedule(m, checkpoints)),
+            hyz_engine=hyz_engine,
+            seed=seed,
+            eval_events=eval_events,
+            chunk_size=chunk_size,
+        )
+        for m in events_values
+        for algorithm in ("uniform", "nonuniform")
+    ]
+    outcome = make_executor(
+        executor, jobs=jobs, segment_events=segment_events
+    ).run(tasks, resume_dir=resume_dir)
+    by_cell = {
+        (task.n_events, task.algorithm): run
+        for task, run in zip(tasks, outcome.results)
+        if run is not None
+    }
+    results = []
+    crossover = None
+    for m in events_values:
+        uniform = by_cell.get((m, "uniform"))
+        nonuniform = by_cell.get((m, "nonuniform"))
+        if uniform is None or nonuniform is None:
+            continue
+        row = {
+            "n_events": int(m),
+            "uniform_messages": int(uniform.total_messages),
+            "nonuniform_messages": int(nonuniform.total_messages),
+            "uniform_over_nonuniform": float(
+                uniform.total_messages / max(nonuniform.total_messages, 1)
+            ),
+            "nonuniform_wins": bool(
+                nonuniform.total_messages < uniform.total_messages
+            ),
+        }
+        if crossover is None and row["nonuniform_wins"]:
+            crossover = int(m)
+        results.append(row)
+    return {
+        "benchmark": "long-crossover",
+        "schema": SCHEMA,
+        "params": {
+            "network": net.name,
+            "eps": float(eps),
+            "n_sites": int(n_sites),
+            "inflated_count": int(inflated_count),
+            "inflated_cardinality": int(inflated_cardinality),
+            "events_values": [int(m) for m in events_values],
+            "checkpoints": int(checkpoints),
+            "eval_events": int(eval_events),
+            "chunk_size": int(chunk_size),
+            "hyz_engine": hyz_engine,
+            "seed": int(seed),
+        },
+        "theory": separation_example(
+            net.n_variables, int(inflated_cardinality)
+        ),
+        "crossover_events": crossover,
+        "results": results,
+        "runs": [run.to_dict() for run in outcome.completed],
     }

@@ -19,6 +19,26 @@ from pathlib import Path
 SCHEMA = "repro-bench-v1"
 
 
+def strip_timing(payload):
+    """A deep copy of ``payload`` with wall-clock measurements zeroed.
+
+    Everything in a ``repro-bench-v1`` document is a pure function of
+    the run descriptors *except* ``wall_seconds``, which measures this
+    machine's actual training time.  Equivalence checks across executors
+    (serial vs multiprocess vs chunked, interrupted vs uninterrupted)
+    therefore compare documents through this canonicalization; the
+    modeled ``runtime`` block is deterministic and left untouched.
+    """
+    if isinstance(payload, dict):
+        return {
+            key: (0.0 if key == "wall_seconds" else strip_timing(value))
+            for key, value in payload.items()
+        }
+    if isinstance(payload, list):
+        return [strip_timing(value) for value in payload]
+    return payload
+
+
 @dataclass(frozen=True)
 class CheckpointRecord:
     """Coordinator-side metrics captured partway through one stream.

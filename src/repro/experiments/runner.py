@@ -13,14 +13,17 @@ every checkpoint; a later call with the same parameters restores the
 bundle, fast-forwards the stream generators past the events the session
 already saw, and continues byte-identically — the finished run is
 indistinguishable from an uninterrupted one.
-:meth:`ExperimentRunner.run_grid` layers result caching on top
-(``resume_dir``), so an interrupted grid re-run skips completed points
-and resumes partial ones.
+:meth:`ExperimentRunner.run_grid` is a thin planner on top:
+:meth:`ExperimentRunner.plan_grid` expands the cartesian grid into
+frozen :class:`~repro.exec.task.RunTask` descriptors, and a pluggable
+:class:`~repro.exec.base.Executor` (serial, multiprocess, or chunked —
+see :mod:`repro.exec`) drives them, with ``resume_dir`` result caching
+keyed on each task's descriptor hash so interrupted or reordered grids
+re-run only what is missing.
 """
 
 from __future__ import annotations
 
-import json
 import time
 from collections.abc import Sequence
 from pathlib import Path
@@ -29,10 +32,13 @@ import numpy as np
 
 from repro.api.session import MonitoringSession
 from repro.api.spec import EstimatorSpec
+from repro.bn.io import network_to_dict
 from repro.bn.network import BayesianNetwork
 from repro.bn.repository import network_by_name
 from repro.bn.sampling import ForwardSampler
 from repro.errors import EvaluationError, StreamError
+from repro.exec.base import make_executor
+from repro.exec.task import RunTask
 from repro.experiments.results import (
     CheckpointRecord,
     ExperimentResult,
@@ -47,7 +53,6 @@ __all__ = [
     "ExperimentRunner",
     "checkpoint_schedule",
     "make_partitioner",
-    "grid_point_key",
 ]
 
 
@@ -57,38 +62,6 @@ def checkpoint_schedule(n_events: int, n_checkpoints: int) -> list[int]:
     n_checkpoints = check_positive_int(n_checkpoints, "n_checkpoints")
     points = np.linspace(0, n_events, min(n_checkpoints, n_events) + 1)[1:]
     return sorted({int(round(p)) for p in points})
-
-
-def grid_point_key(
-    network: str,
-    algorithm: str,
-    *,
-    eps: float,
-    n_sites: int,
-    n_events: int,
-    partitioner: str,
-    counter_backend: str,
-    seed: int,
-    hyz_engine: str = "vectorized",
-    zipf_exponent: float = 1.0,
-    checkpoints="",
-    eval_events: int = 0,
-    chunk_size: int = 0,
-) -> str:
-    """Stable filesystem-safe identifier for one grid point.
-
-    Every parameter that changes a run's stream, estimator, or recorded
-    checkpoints is part of the key — including ``chunk_size``, whose
-    batch boundaries determine the sampler's draw layout — so cached
-    results and snapshots from a differently-configured invocation can
-    never be mistaken for this one.
-    """
-    raw = (
-        f"{network}-{algorithm}-eps{eps:g}-k{n_sites}-m{n_events}"
-        f"-{partitioner}{zipf_exponent:g}-{counter_backend}-{hyz_engine}"
-        f"-c{checkpoints}-e{eval_events}-b{chunk_size}-seed{seed}"
-    )
-    return "".join(c if c.isalnum() or c in "._-" else "_" for c in raw)
 
 
 class ExperimentRunner:
@@ -183,11 +156,19 @@ class ExperimentRunner:
     @staticmethod
     def _remove_bundle(path) -> None:
         bundle = Path(path)
-        for name in ("meta.json", "arrays.npz"):
-            target = bundle / name
+        if not bundle.is_dir():
+            return
+        # meta.json first: once it is gone the bundle reads as absent,
+        # so a crash mid-removal can never leave a bundle that looks
+        # committed but has no arrays.
+        for target in (
+            bundle / "meta.json",
+            *bundle.glob("*.npz"),
+            *bundle.glob(".tmp-*"),
+        ):
             if target.is_file():
                 target.unlink()
-        if bundle.is_dir() and not any(bundle.iterdir()):
+        if not any(bundle.iterdir()):
             bundle.rmdir()
 
     # ------------------------------------------------------------------
@@ -402,6 +383,68 @@ class ExperimentRunner:
         )
 
     # ------------------------------------------------------------------
+    def plan_grid(
+        self,
+        *,
+        networks: Sequence = ("alarm",),
+        algorithms: Sequence[str] = ("exact", "nonuniform"),
+        eps_values: Sequence[float] = (0.1,),
+        site_counts: Sequence[int] = (10,),
+        n_events: int = 10_000,
+        checkpoints: Sequence[int] | int = 5,
+        partitioner: str = "uniform",
+        zipf_exponent: float = 1.0,
+        counter_backend: str = "hyz",
+        hyz_engine: str = "vectorized",
+    ) -> list[RunTask]:
+        """Expand the cartesian grid into a task graph.
+
+        Every cell becomes one frozen :class:`~repro.exec.task.RunTask`
+        carrying the runner's harness settings (``eval_events``,
+        ``chunk_size``, ``update_strategy``, root ``seed``) alongside
+        the cell's own parameters, so any executor can rebuild the run
+        anywhere.  Explicit network objects are serialized inline once,
+        here, so all executors — the in-process one included — train on
+        the identical round-tripped model.
+
+        Every task reuses ``self.seed``, so all grid cells train on
+        byte-identical streams/partitions — the paired design the
+        paper's algorithm comparisons assume.
+        """
+        n_events = check_positive_int(n_events, "n_events")
+        schedule = tuple(self._resolve_schedule(n_events, checkpoints))
+        tasks: list[RunTask] = []
+        for network in networks:
+            if isinstance(network, BayesianNetwork):
+                net_field: "str | dict" = {
+                    "inline": network_to_dict(network)
+                }
+            else:
+                net_field = str(network)
+                network_by_name(net_field)  # fail fast, not in a worker
+            for eps in eps_values:
+                for n_sites in site_counts:
+                    for algorithm in algorithms:
+                        tasks.append(
+                            RunTask(
+                                network=net_field,
+                                algorithm=algorithm,
+                                eps=float(eps),
+                                n_sites=int(n_sites),
+                                n_events=n_events,
+                                checkpoints=schedule,
+                                partitioner=partitioner,
+                                zipf_exponent=zipf_exponent,
+                                counter_backend=counter_backend,
+                                hyz_engine=hyz_engine,
+                                seed=self.seed,
+                                eval_events=self.eval_events,
+                                chunk_size=self.chunk_size,
+                                update_strategy=self.update_strategy,
+                            )
+                        )
+        return tasks
+
     def run_grid(
         self,
         name: str,
@@ -418,21 +461,57 @@ class ExperimentRunner:
         hyz_engine: str = "vectorized",
         resume_dir=None,
         stop_after: int | None = None,
+        executor="serial",
+        jobs: int | None = None,
+        segment_events: int | None = None,
     ) -> ExperimentResult:
-        """Run the full cartesian grid and collect an :class:`ExperimentResult`.
+        """Plan the grid, hand it to an executor, merge the results.
 
-        With a ``resume_dir``, every grid point checkpoints its session
-        under ``<resume_dir>/<key>.ckpt`` and caches its finished
-        :class:`RunResult` as ``<key>.result.json`` — re-invoking the same
-        grid loads cached results, resumes partial snapshots, and only
-        computes what is missing.  Grid points stopped early by
+        ``executor`` is a registered name (``"serial"``,
+        ``"multiprocess"``, ``"chunked"``) or a ready
+        :class:`~repro.exec.base.Executor` instance; ``jobs`` and
+        ``segment_events`` configure named executors that accept them.
+        All executors produce identical results (the executor choice is
+        deliberately *not* recorded in ``params``), so this is purely an
+        operational knob.
+
+        With a ``resume_dir``, every grid cell checkpoints its session
+        under ``<resume_dir>/<cache_key>.ckpt`` and caches its finished
+        :class:`RunResult` as ``<cache_key>.result.json``; the key is a
+        hash of the full task descriptor, so re-invoking the grid —
+        reordered or extended — loads exactly the cells whose
+        descriptors match and computes the rest.  Cells stopped early by
         ``stop_after`` are listed in ``params["incomplete_runs"]``.
         """
-        resolved = [self._resolve_network(n) for n in networks]
+        if stop_after is not None and resume_dir is None:
+            raise EvaluationError(
+                "stop_after without resume_dir would discard the partial "
+                "runs; pass a resume_dir to persist their snapshots"
+            )
+        tasks = self.plan_grid(
+            networks=networks,
+            algorithms=algorithms,
+            eps_values=eps_values,
+            site_counts=site_counts,
+            n_events=n_events,
+            checkpoints=checkpoints,
+            partitioner=partitioner,
+            zipf_exponent=zipf_exponent,
+            counter_backend=counter_backend,
+            hyz_engine=hyz_engine,
+        )
+        outcome = make_executor(
+            executor, jobs=jobs, segment_events=segment_events
+        ).run(tasks, resume_dir=resume_dir, stop_after=stop_after)
         result = ExperimentResult(
             name=name,
             params={
-                "networks": [n.name for n in resolved],
+                # Task descriptors already carry the (validated) names;
+                # re-resolving here would rebuild every repository
+                # network a second time.
+                "networks": list(
+                    dict.fromkeys(task.network_name for task in tasks)
+                ),
                 "algorithms": list(algorithms),
                 "eps_values": [float(e) for e in eps_values],
                 "site_counts": [int(k) for k in site_counts],
@@ -450,79 +529,7 @@ class ExperimentRunner:
                 "seed": self.seed,
             },
         )
-        incomplete: list[str] = []
-        if resume_dir is not None:
-            resume_dir = Path(resume_dir)
-            resume_dir.mkdir(parents=True, exist_ok=True)
-        if stop_after is not None and resume_dir is None:
-            raise EvaluationError(
-                "stop_after without resume_dir would discard the partial "
-                "runs; pass a resume_dir to persist their snapshots"
-            )
-        checkpoint_tag = (
-            str(checkpoints)
-            if isinstance(checkpoints, int)
-            else "-".join(str(int(c)) for c in checkpoints)
-        )
-        # Every run_one call reuses self.seed, so all grid points train on
-        # byte-identical streams/partitions — the paired design the paper's
-        # algorithm comparisons assume (regeneration keeps memory flat).
-        for original, net in zip(list(networks), resolved):
-            for eps in eps_values:
-                for n_sites in site_counts:
-                    for algorithm in algorithms:
-                        key = grid_point_key(
-                            net.name,
-                            algorithm,
-                            eps=eps,
-                            n_sites=n_sites,
-                            n_events=n_events,
-                            partitioner=partitioner,
-                            counter_backend=counter_backend,
-                            seed=self.seed,
-                            hyz_engine=hyz_engine,
-                            zipf_exponent=zipf_exponent,
-                            checkpoints=checkpoint_tag,
-                            eval_events=self.eval_events,
-                            chunk_size=self.chunk_size,
-                        )
-                        snapshot_path = result_path = None
-                        if resume_dir is not None:
-                            snapshot_path = resume_dir / f"{key}.ckpt"
-                            result_path = resume_dir / f"{key}.result.json"
-                            if result_path.is_file():
-                                result.runs.append(
-                                    RunResult.from_dict(
-                                        json.loads(result_path.read_text())
-                                    )
-                                )
-                                continue
-                        run = self.run_one(
-                            net,
-                            algorithm,
-                            eps=eps,
-                            n_sites=n_sites,
-                            n_events=n_events,
-                            checkpoints=checkpoints,
-                            partitioner=partitioner,
-                            zipf_exponent=zipf_exponent,
-                            counter_backend=counter_backend,
-                            hyz_engine=hyz_engine,
-                            spec_network=(
-                                original if isinstance(original, str) else None
-                            ),
-                            snapshot_path=snapshot_path,
-                            stop_after=stop_after,
-                        )
-                        if run is None:
-                            incomplete.append(key)
-                            continue
-                        result.runs.append(run)
-                        if result_path is not None:
-                            result_path.write_text(
-                                json.dumps(run.to_dict(), sort_keys=True)
-                                + "\n"
-                            )
-        if incomplete:
-            result.params["incomplete_runs"] = incomplete
+        result.runs = outcome.completed
+        if outcome.incomplete:
+            result.params["incomplete_runs"] = outcome.incomplete
         return result

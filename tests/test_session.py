@@ -42,7 +42,8 @@ def _snapshot_resume_identical(net, spec, tmp_path, *, m=1_200):
     interrupted.ingest(data[:half])
     bundle = interrupted.snapshot(tmp_path / "snap")
     assert (bundle / "meta.json").is_file()
-    assert (bundle / "arrays.npz").is_file()
+    meta = MonitoringSession.peek(bundle)
+    assert (bundle / meta["arrays"]).is_file()
 
     resumed = MonitoringSession.restore(bundle, network=net)
     assert resumed.events_seen == half
@@ -314,18 +315,16 @@ class TestRunnerResume:
         with pytest.raises(StreamError):
             ZipfPartitioner(4, exponent=1.0, seed=1).load_state_dict(state)
 
-    def test_grid_key_distinguishes_engine(self):
-        from repro.experiments import grid_point_key
+    def test_cache_key_distinguishes_engine(self):
+        from repro.exec import RunTask
 
-        common = dict(
-            eps=0.1, n_sites=3, n_events=600, partitioner="uniform",
-            counter_backend="hyz", seed=0,
+        task = RunTask(
+            network="alarm", algorithm="nonuniform", eps=0.1, n_sites=3,
+            n_events=600, checkpoints=(300, 600), hyz_engine="vectorized",
         )
-        assert grid_point_key(
-            "alarm", "nonuniform", hyz_engine="vectorized", **common
-        ) != grid_point_key(
-            "alarm", "nonuniform", hyz_engine="sequential", **common
-        )
+        assert task.cache_key != task.replace(
+            hyz_engine="sequential"
+        ).cache_key
 
     def test_grid_snapshots_reference_networks_by_name(self, tmp_path):
         import json as _json
