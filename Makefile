@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench bench-hyz docs-check check
+.PHONY: test smoke bench bench-hyz bench-ingest bench-smoke \
+	bench-baselines docs-check check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -63,7 +64,45 @@ bench:
 bench-hyz:
 	$(PYTHON) -m repro.experiments bench-hyz --sites 30 --events 20000
 
+bench-ingest:
+	$(PYTHON) -m repro.experiments bench-ingest --network link \
+	    --events 100000 --chunk 20000 --sites 10 --algorithm exact \
+	    --encoders loop,sparse --repeats 2
+
+# Regenerate the committed benchmark trajectory (paper-scale; minutes).
+# Non-timing fields must reproduce exactly — compare_bench checks that.
+bench-baselines:
+	$(PYTHON) -m repro.experiments bench-ingest --network alarm \
+	    --events 100000 --chunk 20000 --sites 10 --algorithm nonuniform \
+	    --encoders loop,dense,sparse --repeats 2 \
+	    --out benchmarks/BENCH_ingest_alarm.json
+	$(PYTHON) -m repro.experiments bench-ingest --network link \
+	    --events 100000 --chunk 20000 --sites 10 --algorithm exact \
+	    --encoders loop,sparse --repeats 2 \
+	    --out benchmarks/BENCH_ingest_link.json
+	$(PYTHON) -m repro.experiments bench-ingest --network munin \
+	    --events 100000 --chunk 20000 --sites 10 --algorithm exact \
+	    --encoders loop,sparse --repeats 2 \
+	    --out benchmarks/BENCH_ingest_munin.json
+	$(PYTHON) -m repro.experiments bench-ingest --network link \
+	    --events 100000 --chunk 20000 --sites 10 --algorithm nonuniform \
+	    --counter-backend hyz --encoders loop,sparse --repeats 2 \
+	    --out benchmarks/BENCH_ingest_link_nonuniform.json
+	$(PYTHON) -m repro.experiments bench-ingest --network link \
+	    --events 2000 --chunk 1000 --sites 5 --algorithm exact \
+	    --encoders loop,sparse \
+	    --out benchmarks/BENCH_ingest_smoke.json
+
+# A tiny ingest benchmark whose non-timing fields must match the
+# committed baseline byte-for-byte (the encoder determinism contract).
+bench-smoke:
+	$(PYTHON) -m repro.experiments bench-ingest --network link \
+	    --events 2000 --chunk 1000 --sites 5 --algorithm exact \
+	    --encoders loop,sparse --out /tmp/repro_bench_smoke.json
+	$(PYTHON) tools/compare_bench.py /tmp/repro_bench_smoke.json \
+	    benchmarks/BENCH_ingest_smoke.json
+
 docs-check:
 	$(PYTHON) tools/check_docs.py
 
-check: test smoke docs-check
+check: test smoke bench-smoke docs-check

@@ -59,6 +59,7 @@ from repro.experiments import (
     ExperimentRunner,
     RunResult,
     benchmark_hyz_engines,
+    benchmark_ingest_stages,
     benchmark_update_strategies,
     classification_experiment,
     separation_experiment,
@@ -113,6 +114,7 @@ __all__ = [
     "ExperimentResult",
     "RunResult",
     "benchmark_hyz_engines",
+    "benchmark_ingest_stages",
     "benchmark_update_strategies",
     "classification_experiment",
     "separation_experiment",

@@ -32,7 +32,10 @@ from repro.core.allocation import (
     uniform_allocation,
 )
 from repro.counters.base import CounterBank
-from repro.counters.deterministic import DeterministicCounterBank
+from repro.counters.deterministic import (
+    DETERMINISTIC_ENGINES,
+    DeterministicCounterBank,
+)
 from repro.counters.exact import ExactCounterBank
 from repro.counters.hyz import ENGINES, HYZCounterBank
 from repro.errors import AllocationError, CounterError
@@ -228,7 +231,11 @@ def _deterministic_bank_factory(n_counters, n_sites, *, eps_per_counter, rng,
                                 message_log, options
                                 ) -> DeterministicCounterBank:
     return DeterministicCounterBank(
-        n_counters, n_sites, eps_per_counter, message_log=message_log
+        n_counters,
+        n_sites,
+        eps_per_counter,
+        message_log=message_log,
+        engine=options.get("deterministic_engine", "vectorized"),
     )
 
 
@@ -282,5 +289,9 @@ register_counter_backend(
     _deterministic_bank_factory,
     randomized=False,
     needs_eps=True,
-    description="(1+eps)-threshold counters (Keralapura et al.), ablations",
+    options=("deterministic_engine",),
+    description=(
+        "(1+eps)-threshold counters (Keralapura et al.), ablations; "
+        f"engines: {', '.join(DETERMINISTIC_ENGINES)}"
+    ),
 )

@@ -118,7 +118,8 @@ class MonitoringSession:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def ingest(self, data, site_ids=None, *, strategy: str = "auto") -> int:
+    def ingest(self, data, site_ids=None, *, strategy: str = "auto",
+               validate: bool = True) -> int:
         """Feed a batch of events; returns the number of events ingested.
 
         ``data`` is ``(m, n)`` state indices (a single ``(n,)`` event is
@@ -126,6 +127,11 @@ class MonitoringSession:
         session's partitioner assigns sites — the spec's ``partitioner``
         policy — and that assignment stream is part of the snapshot
         state, so resumed sessions continue it byte-identically.
+
+        ``validate=False`` skips the estimator's per-batch range scans;
+        use it only for batches valid by construction (a sampler drawing
+        from the same network, or the session partitioner's own site
+        ids).
         """
         data = np.asarray(data, dtype=np.int64)
         if data.ndim == 1:
@@ -134,16 +140,20 @@ class MonitoringSession:
             return 0
         if site_ids is None:
             site_ids = self.partitioner.assign(data.shape[0])
-        self.estimator.update_batch(data, site_ids, strategy=strategy)
+        self.estimator.update_batch(
+            data, site_ids, strategy=strategy, validate=validate
+        )
         return int(data.shape[0])
 
-    def ingest_stream(self, batches: Iterable, *, strategy: str = "auto") -> int:
+    def ingest_stream(self, batches: Iterable, *, strategy: str = "auto",
+                      validate: bool = True) -> int:
         """Feed an iterable of batches; returns the total events ingested.
 
         Each item is either a ``(data, site_ids)`` pair or a bare data
         batch (sites then come from the session partitioner).  Works with
         generators — e.g. ``ForwardSampler.sample_stream`` — so unbounded
-        streams never materialize in memory.
+        streams never materialize in memory.  ``validate`` is forwarded
+        to :meth:`ingest` for every batch.
         """
         total = 0
         for item in batches:
@@ -151,8 +161,29 @@ class MonitoringSession:
                 data, site_ids = item
             else:
                 data, site_ids = item, None
-            total += self.ingest(data, site_ids, strategy=strategy)
+            total += self.ingest(
+                data, site_ids, strategy=strategy, validate=validate
+            )
         return total
+
+    def ingest_sampler(self, sampler, m: int, *, chunk: int = 10_000,
+                       strategy: str = "auto") -> int:
+        """Fused zero-copy ingest of ``m`` events drawn from ``sampler``.
+
+        The paper-scale fast path: the sampler fills one preallocated
+        F-ordered chunk buffer (``sample_stream(reuse_buffer=True)``),
+        the session partitioner assigns sites, and the estimator ingests
+        each chunk without re-validating or re-allocating — the sparse
+        batch encoder reads the buffer's transpose as a free view and
+        reuses its own workspace across chunks (``docs/performance.md``
+        walks through the stages).  The sampler must draw from this
+        session's network; batches are trusted by construction.
+        """
+        return self.ingest_stream(
+            sampler.sample_stream(m, chunk=chunk, reuse_buffer=True),
+            strategy=strategy,
+            validate=False,
+        )
 
     # ------------------------------------------------------------------
     # Anytime access

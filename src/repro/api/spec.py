@@ -28,6 +28,7 @@ from repro.bn.network import BayesianNetwork
 from repro.bn.repository import network_by_name
 from repro.core.allocation import Allocation
 from repro.core.estimator import StreamingMLEEstimator
+from repro.counters.deterministic import DETERMINISTIC_ENGINES
 from repro.counters.hyz import ENGINES
 from repro.errors import AllocationError, SpecError
 from repro.monitoring.channel import MessageLog
@@ -79,6 +80,10 @@ class EstimatorSpec:
     hyz_engine:
         Span-replay engine for HYZ banks (``"vectorized"`` or
         ``"sequential"``).
+    deterministic_engine:
+        Threshold-advancement engine for deterministic banks
+        (``"vectorized"`` or ``"scalar"``); both are byte-identical, so
+        this is a pure performance knob.
     partitioner:
         Site-assignment policy used by sessions when ``ingest`` is called
         without explicit site ids: ``"uniform"``, ``"round-robin"``, or
@@ -98,6 +103,7 @@ class EstimatorSpec:
     seed: "int | np.random.Generator | None" = None
     counter_backend: str = "hyz"
     hyz_engine: str = "vectorized"
+    deterministic_engine: str = "vectorized"
     partitioner: str = "uniform"
     zipf_exponent: float = 1.0
     joint_eps: tuple[float, ...] | None = None
@@ -143,6 +149,11 @@ class EstimatorSpec:
             raise SpecError(
                 f"unknown hyz_engine {self.hyz_engine!r}; expected one of "
                 f"{ENGINES}"
+            )
+        if self.deterministic_engine not in DETERMINISTIC_ENGINES:
+            raise SpecError(
+                f"unknown deterministic_engine {self.deterministic_engine!r}; "
+                f"expected one of {DETERMINISTIC_ENGINES}"
             )
         if self.partitioner not in PARTITIONERS:
             raise SpecError(
@@ -233,6 +244,7 @@ class EstimatorSpec:
         message_log: MessageLog | None = None,
         network: BayesianNetwork | None = None,
         rng: np.random.Generator | None = None,
+        encoder: str = "auto",
     ) -> StreamingMLEEstimator:
         """Construct the estimator this spec describes.
 
@@ -247,6 +259,12 @@ class EstimatorSpec:
         rng:
             Override the counter bank's generator (sessions derive it
             from the spec seed together with the partitioner's).
+        encoder:
+            Batch-encoder override forwarded to
+            :class:`~repro.core.estimator.StreamingMLEEstimator`
+            (``"auto"``, ``"dense"``, ``"sparse"``, ``"loop"``).  Not a
+            spec field: every encoder is byte-identical, so this is a
+            per-build performance knob, not part of what is described.
         """
         from repro.core.algorithms import expand_allocation
 
@@ -265,7 +283,10 @@ class EstimatorSpec:
             eps_per_counter = None
         if rng is None and backend.randomized:
             rng = as_generator(self.seed)
-        options = {"engine": self.hyz_engine}
+        options = {
+            "engine": self.hyz_engine,
+            "deterministic_engine": self.deterministic_engine,
+        }
 
         def bank_factory(n_counters: int):
             return backend.factory(
@@ -277,7 +298,9 @@ class EstimatorSpec:
                 options=options,
             )
 
-        return StreamingMLEEstimator(net, bank_factory, name=entry.name)
+        return StreamingMLEEstimator(
+            net, bank_factory, name=entry.name, encoder=encoder
+        )
 
     def session(self) -> "MonitoringSession":
         """Build a full :class:`~repro.api.session.MonitoringSession`."""
@@ -307,6 +330,7 @@ class EstimatorSpec:
             "seed": seed,
             "counter_backend": self.counter_backend,
             "hyz_engine": self.hyz_engine,
+            "deterministic_engine": self.deterministic_engine,
             "partitioner": self.partitioner,
             "zipf_exponent": self.zipf_exponent,
             "joint_eps": list(self.joint_eps) if self.joint_eps else None,
@@ -330,6 +354,9 @@ class EstimatorSpec:
             seed=payload.get("seed"),
             counter_backend=payload.get("counter_backend", "hyz"),
             hyz_engine=payload.get("hyz_engine", "vectorized"),
+            deterministic_engine=payload.get(
+                "deterministic_engine", "vectorized"
+            ),
             partitioner=payload.get("partitioner", "uniform"),
             zipf_exponent=payload.get("zipf_exponent", 1.0),
             joint_eps=payload.get("joint_eps"),

@@ -50,8 +50,32 @@ class ForwardSampler:
         (:attr:`BayesianNetwork.node_names`).
         """
         m = check_positive_int(m, "m")
+        return self.sample_into(
+            np.empty((m, self.network.n_variables), dtype=np.int64)
+        )
+
+    def sample_into(self, out: np.ndarray) -> np.ndarray:
+        """Fill a preallocated ``(m, n)`` int64 buffer with fresh instances.
+
+        The zero-copy primitive behind :meth:`sample` and the
+        ``reuse_buffer`` streaming mode: the caller owns the buffer, so a
+        chunked ingest loop touches no allocator between chunks.  Draws
+        exactly the values :meth:`sample` would for the same RNG state,
+        whatever the buffer's memory order — an F-ordered buffer makes
+        every per-variable write a contiguous run *and* gives the sparse
+        batch encoder its transposed layout for free (see
+        ``docs/performance.md``).  Returns ``out``.
+        """
+        out = np.asarray(out)
         n = self.network.n_variables
-        out = np.empty((m, n), dtype=np.int64)
+        if out.ndim != 2 or out.shape[1] != n or out.dtype != np.int64:
+            raise StreamError(
+                f"sample_into needs an int64 buffer of shape (m, {n}), "
+                f"got {out.dtype} {out.shape}"
+            )
+        m = out.shape[0]
+        if m == 0:
+            return out
         for idx, cpd, parent_positions, cdf in self._plan:
             if parent_positions.size:
                 col_index = cpd.parent_index_array(out[:, parent_positions])
@@ -65,17 +89,38 @@ class ForwardSampler:
             out[:, idx] = (u[None, :] > row_cdf).sum(axis=0)
         return out
 
-    def sample_stream(self, m: int, *, chunk: int = 20_000) -> Iterator[np.ndarray]:
+    def sample_stream(
+        self, m: int, *, chunk: int = 20_000, reuse_buffer: bool = False
+    ) -> Iterator[np.ndarray]:
         """Yield ``m`` instances in chunks of at most ``chunk`` rows.
 
         Useful for long streams that should not be materialized at once.
+
+        With ``reuse_buffer=True`` every yielded batch is a view into one
+        preallocated F-ordered buffer that the next iteration overwrites:
+        consume (or copy) each batch before advancing the iterator.  This
+        is the fused zero-copy mode used by
+        :meth:`~repro.api.session.MonitoringSession.ingest_sampler` —
+        per-variable writes land in contiguous runs and the estimator's
+        sparse encoder reads the transpose as a free view.
         """
         m = check_positive_int(m, "m")
         chunk = check_positive_int(chunk, "chunk")
+        storage = None
+        if reuse_buffer:
+            # (n, chunk) C-order, viewed transposed: variable rows stay
+            # contiguous and short final chunks slice to contiguous
+            # prefixes of each row.
+            storage = np.empty(
+                (self.network.n_variables, min(chunk, m)), dtype=np.int64
+            )
         remaining = m
         while remaining > 0:
             size = min(chunk, remaining)
-            yield self.sample(size)
+            if storage is None:
+                yield self.sample(size)
+            else:
+                yield self.sample_into(storage[:, :size].T)
             remaining -= size
 
     def sample_event(

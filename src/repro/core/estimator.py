@@ -10,16 +10,40 @@ two counters per CPD table entry family:
   the product terms in the analysis stay independent (Sec. IV-D).
 
 ``update_batch`` implements Algorithm 2 vectorized over a batch of events:
-all ``2n`` counter increments per event are encoded as flat counter ids,
-collapsed to unique ``(site, counter, count)`` triples by one sort-based
-grouping pass, and handed to the bank's grouped fast path.  The legacy
-per-site mask loop survives as ``update_batch_masked`` for benchmarking and
-regression pinning.  ``query``/``query_event`` implement Algorithm 3.
+the increments of each event are encoded as flat counter ids, collapsed to
+unique ``(site, counter, count)`` triples by one histogram pass, and handed
+to the bank's grouped fast path.
+
+Three **batch encoders** produce the counter ids (``docs/performance.md``
+maps the whole hot path):
+
+- ``"dense"`` — an (n, n) stride-matrix dgemm encodes every
+  parent-configuration code of a batch in one matmul; the default for
+  ``n <= 256`` variables.
+- ``"sparse"`` — the large-network fast path: the per-variable
+  ``(parent position, stride)`` pairs are flattened into depth-grouped
+  arrays over a *transposed* ``(n, m)`` batch, so each gather/multiply/add
+  is a contiguous row operation; ``O(edges)`` work per event with no
+  Python-loop-per-variable.  The default above 256 variables.
+- ``"loop"`` — the original per-variable Python loop, kept byte-for-byte
+  as the reference engine that the profiler benchmarks the fast paths
+  against.
+
+The ``"dense"``/``"sparse"`` encoders emit only the *joint* counter ids:
+each event contributes exactly one joint id and one parent id per
+variable, and the parent id is a pure function of the joint id, so the
+grouping layer derives the parent-half histogram from the joint-half
+histogram (``_derive_parent_counts``) instead of encoding and binning a
+second ``(m, n)`` array — exactly half the encode and histogram work with
+bit-identical results.  The legacy per-site mask loop survives as
+``update_batch_masked`` for benchmarking and regression pinning.
+``query``/``query_event`` implement Algorithm 3.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from collections.abc import Mapping
 
 import numpy as np
@@ -35,8 +59,12 @@ from repro.utils.validation import check_positive_int
 _DENSE_GROUP_BUDGET = 1 << 23
 
 #: Largest variable count for which the dense stride-matrix dgemm encoder is
-#: built; larger (sparse) networks keep the O(edges) per-variable loop.
+#: auto-selected; larger (sparse) networks get the transposed segment-sum
+#: encoder, whose work is O(edges) rather than O(n^2) per event.
 _DENSE_ENCODE_MAX_VARIABLES = 256
+
+#: Batch-encoder names accepted by :class:`StreamingMLEEstimator`.
+ENCODERS = ("auto", "dense", "sparse", "loop")
 
 
 class _VariableLayout:
@@ -68,6 +96,37 @@ class _VariableLayout:
         return data[:, self.parent_positions] @ self.parent_strides
 
 
+class _SparseEncodePlan:
+    """Flattened per-variable ``(parent position, stride)`` pairs.
+
+    The sparse encoder walks one plan row per variable over the
+    *transposed* batch: each step is a handful of contiguous
+    ``(m,)``-vector operations on a cache-resident row (multiply by the
+    CPD stride, accumulate, fold in the layout offset and the optional
+    site keys while hot), so the total work is ``O((n + edges) * m)``
+    sequential traffic — no per-variable Python arithmetic, no O(n^2)
+    matmul.  Rows hold plain Python ints: the per-row numpy calls then
+    carry no array-scalar boxing overhead.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, layouts: list[_VariableLayout]) -> None:
+        self.rows: list[tuple[int, int, list[tuple[int, int]]]] = [
+            (
+                int(layout.k_configs),
+                int(layout.joint_offset),
+                [
+                    (int(p), int(s))
+                    for p, s in zip(
+                        layout.parent_positions, layout.parent_strides
+                    )
+                ],
+            )
+            for layout in layouts
+        ]
+
+
 class StreamingMLEEstimator:
     """Continuously maintains an approximate MLE of a Bayesian network.
 
@@ -82,6 +141,12 @@ class StreamingMLEEstimator:
         :mod:`repro.core.algorithms`).
     name:
         Display name of the algorithm this estimator realizes.
+    encoder:
+        Batch-encoder choice: ``"auto"`` (default — ``"dense"`` up to
+        :data:`_DENSE_ENCODE_MAX_VARIABLES` variables, ``"sparse"``
+        beyond), or an explicit ``"dense"`` / ``"sparse"`` / ``"loop"``.
+        All encoders leave every bank byte-identical; the choice is a
+        pure performance knob (see ``docs/performance.md``).
     """
 
     def __init__(
@@ -90,6 +155,7 @@ class StreamingMLEEstimator:
         bank_factory,
         *,
         name: str = "estimator",
+        encoder: str = "auto",
     ) -> None:
         self.network = network
         self.name = str(name)
@@ -130,11 +196,24 @@ class StreamingMLEEstimator:
         self._k_configs_vec = np.array(
             [l.k_configs for l in self._layouts], dtype=np.int64
         )
+        if encoder not in ENCODERS:
+            raise StreamError(
+                f"unknown encoder {encoder!r}; expected one of {ENCODERS}"
+            )
+        if encoder == "auto":
+            encoder = (
+                "dense" if n <= _DENSE_ENCODE_MAX_VARIABLES else "sparse"
+            )
+        self.encoder = encoder
         # Dense (n, n) parent-stride matrix: one dgemm turns a whole batch
-        # into parent-configuration codes.  Only built for small/medium n —
-        # for the huge sparse networks (LINK, MUNIN) a dense matmul would do
-        # O(n^2) work per event where the per-variable loop does O(edges).
-        if n <= _DENSE_ENCODE_MAX_VARIABLES:
+        # into parent-configuration codes.  Only worthwhile for small/medium
+        # n — for the huge sparse networks (LINK, MUNIN) a dense matmul
+        # would do O(n^2) work per event where the sparse plan does
+        # O(edges).  Also built for "loop" so `_encode_halves` keeps its
+        # historical dgemm behaviour on small networks.
+        if self.encoder == "dense" or (
+            self.encoder == "loop" and n <= _DENSE_ENCODE_MAX_VARIABLES
+        ):
             self._stride_matrix = np.zeros((n, n))
             for layout in self._layouts:
                 self._stride_matrix[layout.parent_positions, layout.index] = (
@@ -145,6 +224,36 @@ class StreamingMLEEstimator:
             self._parent_offsets_f = self._parent_offsets.astype(np.float64)
         else:
             self._stride_matrix = None
+        self._sparse_plan = (
+            _SparseEncodePlan(self._layouts) if self.encoder == "sparse"
+            else None
+        )
+        # Compact dtype for the sparse encoder's workspace; int32 covers
+        # every practical network (the id space would need 2**31 counters
+        # to overflow it).
+        self._sparse_dtype = (
+            np.int32 if self.n_counters < np.iinfo(np.int32).max
+            else np.int64
+        )
+        # joint id -> parent id (relative to the parent block): lets the
+        # grouping layer derive the parent-half histogram from the
+        # joint-half histogram instead of binning a second (m, n) array.
+        if self.encoder != "loop":
+            rel = np.empty(self.n_joint_counters, dtype=np.int64)
+            for layout in self._layouts:
+                block = layout.cardinality * layout.k_configs
+                rel[layout.joint_offset:layout.joint_offset + block] = (
+                    layout.parent_offset - self.n_joint_counters
+                    + np.tile(np.arange(layout.k_configs), layout.cardinality)
+                )
+            self._parent_of_joint_rel = rel
+        else:
+            self._parent_of_joint_rel = None
+        #: Optional ``{"encode": s, "update": s}`` accumulator the stage
+        #: profiler installs; ``None`` (default) keeps the hot path free of
+        #: timing calls beyond two branch checks.
+        self.stage_times: dict | None = None
+        self._buffers: dict = {}
         self.bank: CounterBank = bank_factory(self.n_counters)
         if self.bank.n_counters != self.n_counters:
             raise StreamError(
@@ -162,8 +271,8 @@ class StreamingMLEEstimator:
 
         Returns an array of shape ``(m, 2n)``: joint-counter ids in columns
         ``[0, n)``, parent-counter ids in ``[n, 2n)``.  This is the original
-        per-variable encoder; it backs the legacy masked path and remains the
-        reference the fused :meth:`_encode_halves` is tested against.
+        per-variable encoder; it backs the legacy masked path and remains
+        the reference every fast encoder is tested against.
         """
         m = data.shape[0]
         n = len(self._layouts)
@@ -181,14 +290,11 @@ class StreamingMLEEstimator:
     def _encode_halves(self, data: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Joint and parent counter ids as two ``(m, n)`` int64 arrays.
 
-        The sharded update strategies consume the two halves separately (two
-        ``bincount`` calls replace one concatenation), so this encoder never
-        materializes the ``(m, 2n)`` layout.  For small/medium networks all
-        parent-configuration codes come from a single float64 dgemm against
-        the precomputed stride matrix — exact, since every intermediate value
-        is an integer far below 2**53 — followed by in-place arithmetic that
-        reuses the two float buffers; large sparse networks fall back to the
-        per-variable loop, which does O(edges) rather than O(n^2) work.
+        The legacy two-half encoder: a dgemm against the dense stride
+        matrix when one was built, the per-variable loop otherwise.  The
+        ``"loop"`` reference pipeline consumes it; the fast pipelines use
+        :meth:`_encode_joint` plus derived parent histograms instead.
+        Always returns fresh arrays (no workspace aliasing).
         """
         if self._stride_matrix is not None:
             df = data.astype(np.float64)
@@ -212,7 +318,141 @@ class StreamingMLEEstimator:
             parent[:, layout.index] = layout.parent_offset + pstate
         return joint, parent
 
-    def _validate_batch(self, data, site_ids) -> tuple[np.ndarray, np.ndarray]:
+    def _buffer(self, key: str, shape: tuple, dtype) -> np.ndarray:
+        """A reusable scratch array; reallocated only when ``shape`` moves.
+
+        Chunked ingest feeds same-size batches, so in steady state the
+        encoder touches no allocator at all (the zero-copy contract of
+        ``MonitoringSession.ingest_sampler``).
+        """
+        buf = self._buffers.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def _encode_joint_dense(self, data: np.ndarray) -> np.ndarray:
+        """Joint counter ids as an ``(m, n)`` int64 workspace array.
+
+        One float64 dgemm computes every parent-configuration code —
+        exact, since every intermediate value is an integer far below
+        2**53.  The returned array is workspace owned by the estimator;
+        callers may mutate it but must not hold it across calls.
+        """
+        m, n = data.shape
+        df = self._buffer("dense.float", (m, n), np.float64)
+        pstates = self._buffer("dense.pstates", (m, n), np.float64)
+        out = self._buffer("dense.joint", (m, n), np.int64)
+        df[...] = data
+        np.matmul(df, self._stride_matrix, out=pstates)
+        df *= self._k_configs_f
+        df += pstates
+        df += self._joint_offsets_f
+        np.copyto(out, df, casting="unsafe")
+        return out
+
+    def _encode_joint_sparse(
+        self, data: np.ndarray, add: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Joint counter ids as an ``(n, m)`` transposed workspace array.
+
+        Works in a compact integer dtype (int32 whenever the id space
+        fits, which halves memory traffic and doubles SIMD width), one
+        variable row at a time: multiply the variable's states by its
+        stride, accumulate each parent's contribution, then fold in the
+        layout offset — and ``add`` (per-event values, e.g. the grouping
+        layer's ``site * n_counters`` keys) — while the row is still
+        cache-hot.  A final bulk pass upcasts to int64, which
+        ``np.bincount`` consumes without an internal copy.  When ``data``
+        is F-contiguous (the
+        :meth:`~repro.bn.sampling.ForwardSampler.sample_stream`
+        ``reuse_buffer`` layout) the transpose read is a free view.
+
+        ``add`` requires ``offset + id + add`` to stay inside the compact
+        dtype; callers gate on ``n_sites * n_counters - 1`` fitting
+        :attr:`_sparse_dtype` (see ``_update_grouped_dense``).
+        """
+        plan = self._sparse_plan
+        n = len(self._layouts)
+        m = data.shape[0]
+        dtype = self._sparse_dtype
+        dataT = self._buffer("sparse.dataT", (n, m), dtype)
+        np.copyto(dataT, data.T, casting="unsafe")
+        joint = self._buffer("sparse.joint", (n, m), dtype)
+        scratch = self._buffer("sparse.scratch", (m,), dtype)
+        if add is not None:
+            add = np.asarray(add, dtype=dtype)
+        out = (
+            joint if dtype is np.int64
+            else self._buffer("sparse.joint64", (n, m), np.int64)
+        )
+        for index, (k_configs, joint_offset, parents) in enumerate(plan.rows):
+            row = joint[index]
+            np.multiply(dataT[index], k_configs, out=row)
+            for position, stride in parents:
+                np.multiply(dataT[position], stride, out=scratch)
+                row += scratch
+            row += joint_offset
+            # The upcast to int64 (which np.bincount consumes without an
+            # internal copy) rides the last per-row op while the row is
+            # cache-hot instead of costing a separate bulk pass.
+            if add is not None:
+                np.add(row, add, out=out[index])
+            elif out is not joint:
+                np.copyto(out[index], row)
+        return out
+
+    def _encode_joint(
+        self, data: np.ndarray, add: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Dispatch to the configured fast encoder (timed when profiling).
+
+        Returns ``(m, n)`` row-major ids for the dense encoder and
+        ``(n, m)`` transposed ids for the sparse one.  ``add`` is the
+        sparse encoder's fused per-event offset (site keys); the dense
+        encoder's callers apply it as a broadcast instead.
+        """
+        if self.stage_times is None:
+            if self.encoder == "sparse":
+                return self._encode_joint_sparse(data, add)
+            return self._encode_joint_dense(data)
+        t0 = time.perf_counter()
+        if self.encoder == "sparse":
+            out = self._encode_joint_sparse(data, add)
+        else:
+            out = self._encode_joint_dense(data)
+        self.stage_times["encode"] += time.perf_counter() - t0
+        return out
+
+    def _encode_halves_timed(self, data: np.ndarray):
+        if self.stage_times is None:
+            return self._encode_halves(data)
+        t0 = time.perf_counter()
+        out = self._encode_halves(data)
+        self.stage_times["encode"] += time.perf_counter() - t0
+        return out
+
+    def _derive_parent_counts(self, dense: np.ndarray) -> None:
+        """Fill one site's parent-counter histogram region in place.
+
+        ``dense`` is a length-``n_counters`` histogram whose joint region
+        ``[0, n_joint)`` is populated and whose parent region is garbage.
+        Each event contributes exactly one joint id and one parent id per
+        variable, and the parent id is a function of the joint id, so the
+        parent histogram is an exact segment-sum of the joint one.  The
+        float64 ``bincount`` weights are exact: per-batch counts are far
+        below 2**53.
+        """
+        n_joint = self.n_joint_counters
+        parent = np.bincount(
+            self._parent_of_joint_rel,
+            weights=dense[:n_joint].astype(np.float64),
+            minlength=self.n_counters - n_joint,
+        )
+        dense[n_joint:] = parent.astype(np.int64)
+
+    def _validate_batch(self, data, site_ids, *,
+                        check: bool = True) -> tuple[np.ndarray, np.ndarray]:
         data = np.asarray(data, dtype=np.int64)
         site_ids = np.asarray(site_ids, dtype=np.int64)
         if data.ndim != 2 or data.shape[1] != len(self._layouts):
@@ -222,7 +462,7 @@ class StreamingMLEEstimator:
             )
         if site_ids.shape != (data.shape[0],):
             raise StreamError("site_ids must have one entry per event")
-        if data.shape[0] == 0:
+        if data.shape[0] == 0 or not check:
             return data, site_ids
         if site_ids.min() < 0 or site_ids.max() >= self.n_sites:
             raise StreamError("site id out of range")
@@ -237,14 +477,17 @@ class StreamingMLEEstimator:
         site_ids: np.ndarray,
         *,
         strategy: str = "auto",
+        validate: bool = True,
     ) -> None:
         """Feed a batch of events, each observed at its assigned site.
 
         ``data`` is ``(m, n)`` state indices in topological variable order;
-        ``site_ids`` is ``(m,)``.
+        ``site_ids`` is ``(m,)``.  ``validate=False`` skips the O(m n)
+        range scans for callers whose batches are valid by construction
+        (the session's fused sampler ingest); shape checks always run.
 
-        ``strategy`` picks how the ``2n * m`` increments are grouped into the
-        unique ``(site, counter, count)`` triples that
+        ``strategy`` picks how the per-event increments are grouped into
+        the unique ``(site, counter, count)`` triples that
         :meth:`~repro.counters.base.CounterBank.bulk_add_grouped` consumes:
 
         - ``"argsort"`` — one stable argsort of ``site_ids`` shards the batch
@@ -261,16 +504,17 @@ class StreamingMLEEstimator:
           benchmarking and regression pinning (also available as
           :meth:`update_batch_masked`).
 
-        All strategies hand the banks identical per-site (sorted, unique)
-        aggregates in ascending site order, so for a fixed bank they leave
-        it in a byte-identical state — including the RNG-driven HYZ bank,
-        whose draw order depends only on the per-site slices it receives.
-        (The HYZ bank's *span-replay engine* is a property of the bank, not
-        of the grouping strategy: different engines consume randomness in
-        different orders and agree statistically instead — see
-        ``docs/hyz-protocol.md`` and ``EstimatorSpec``'s ``hyz_engine``.)
+        All strategies (and all encoders) hand the banks identical
+        per-site (sorted, unique) aggregates in ascending site order, so
+        for a fixed bank they leave it in a byte-identical state —
+        including the RNG-driven HYZ bank, whose draw order depends only
+        on the per-site slices it receives.  (The HYZ bank's *span-replay
+        engine* is a property of the bank, not of the grouping strategy:
+        different engines consume randomness in different orders and agree
+        statistically instead — see ``docs/hyz-protocol.md`` and
+        ``EstimatorSpec``'s ``hyz_engine``.)
         """
-        data, site_ids = self._validate_batch(data, site_ids)
+        data, site_ids = self._validate_batch(data, site_ids, check=validate)
         if data.shape[0] == 0:
             return
         if strategy == "auto":
@@ -285,6 +529,10 @@ class StreamingMLEEstimator:
                 if table <= _DENSE_GROUP_BUDGET and table <= 8 * increments
                 else "argsort"
             )
+        profiling = self.stage_times is not None
+        if profiling:
+            t0 = time.perf_counter()
+            encode_before = self.stage_times["encode"]
         if strategy == "dense":
             self._update_grouped_dense(data, site_ids)
         elif strategy == "argsort":
@@ -296,6 +544,10 @@ class StreamingMLEEstimator:
                 f"unknown update strategy {strategy!r}; expected 'auto', "
                 "'dense', 'argsort', or 'masked'"
             )
+        if profiling:
+            elapsed = time.perf_counter() - t0
+            encode_delta = self.stage_times["encode"] - encode_before
+            self.stage_times["update"] += elapsed - encode_delta
         self.events_seen += data.shape[0]
 
     def update_batch_masked(self, data: np.ndarray, site_ids: np.ndarray) -> None:
@@ -308,39 +560,80 @@ class StreamingMLEEstimator:
         self.update_batch(data, site_ids, strategy="masked")
 
     def _update_grouped_dense(self, data: np.ndarray, site_ids: np.ndarray) -> None:
-        joint, parent = self._encode_halves(data)
-        site_keys = (site_ids * np.int64(self.n_counters))[:, None]
-        joint += site_keys
-        parent += site_keys
-        table = self.n_sites * self.n_counters
-        dense = np.bincount(joint.ravel(), minlength=table)
-        dense += np.bincount(parent.ravel(), minlength=table)
+        n_counters = self.n_counters
+        table = self.n_sites * n_counters
+        if self.encoder == "loop":
+            # The reference pipeline: encode both halves per variable and
+            # histogram both, exactly as before the fast encoders landed.
+            joint, parent = self._encode_halves_timed(data)
+            site_keys = (site_ids * np.int64(n_counters))[:, None]
+            joint += site_keys
+            parent += site_keys
+            dense = np.bincount(joint.ravel(), minlength=table)
+            dense += np.bincount(parent.ravel(), minlength=table)
+        else:
+            site_keys = site_ids * np.int64(n_counters)
+            if self.encoder == "sparse":
+                if table - 1 <= np.iinfo(self._sparse_dtype).max:
+                    # Keys fold into the encoder's cache-hot row pass.
+                    ids = self._encode_joint(data, site_keys)
+                else:
+                    ids = self._encode_joint(data)
+                    ids += site_keys[None, :]
+            else:
+                ids = self._encode_joint(data)
+                ids += site_keys[:, None]
+            dense = np.bincount(ids.ravel(), minlength=table)
+            per_site = dense.reshape(self.n_sites, n_counters)
+            for site in range(self.n_sites):
+                self._derive_parent_counts(per_site[site])
+            # The bank consumes the per-site table directly — no
+            # flatnonzero/divmod round-trip through sparse triples.
+            self.bank.bulk_add_table(per_site, check=False)
+            return
         touched = np.flatnonzero(dense)
         self.bank.bulk_add_grouped(
-            touched // self.n_counters,
-            touched % self.n_counters,
+            touched // n_counters,
+            touched % n_counters,
             dense[touched],
+            check=False,
         )
 
     def _update_grouped_argsort(self, data: np.ndarray, site_ids: np.ndarray) -> None:
+        n_counters = self.n_counters
         order = np.argsort(site_ids, kind="stable")
         sorted_sites = site_ids[order]
-        # Encoding the site-sorted rows makes every per-site slice below a
-        # contiguous view — no per-site row gather.
-        joint, parent = self._encode_halves(data[order])
         starts = np.flatnonzero(
             np.r_[True, sorted_sites[1:] != sorted_sites[:-1]]
         )
         bounds = np.append(starts, sorted_sites.size)
+        if self.encoder == "loop":
+            # Encoding the site-sorted rows makes every per-site slice below
+            # a contiguous view — no per-site row gather.
+            joint, parent = self._encode_halves_timed(data[order])
+        elif self.encoder == "sparse":
+            # Transposed ids are encoded in stream order; per-site slices
+            # become column takes below.
+            ids = self._encode_joint(data)
+        else:
+            ids = self._encode_joint(data[order])
         site_parts, counter_parts, count_parts = [], [], []
         for i in range(starts.size):
             lo, hi = bounds[i], bounds[i + 1]
-            dense = np.bincount(
-                joint[lo:hi].ravel(), minlength=self.n_counters
-            )
-            dense += np.bincount(
-                parent[lo:hi].ravel(), minlength=self.n_counters
-            )
+            if self.encoder == "loop":
+                dense = np.bincount(
+                    joint[lo:hi].ravel(), minlength=n_counters
+                )
+                dense += np.bincount(
+                    parent[lo:hi].ravel(), minlength=n_counters
+                )
+            else:
+                if self.encoder == "sparse":
+                    flat = ids.take(order[lo:hi], axis=1).ravel()
+                else:
+                    flat = ids[lo:hi].ravel()
+                dense = np.bincount(flat, minlength=n_counters)
+                self._derive_parent_counts(dense)
             touched = np.flatnonzero(dense)
             counter_parts.append(touched)
             count_parts.append(dense[touched])
@@ -351,6 +644,7 @@ class StreamingMLEEstimator:
             np.concatenate(site_parts),
             np.concatenate(counter_parts),
             np.concatenate(count_parts),
+            check=False,
         )
 
     def _update_masked(self, data: np.ndarray, site_ids: np.ndarray) -> None:

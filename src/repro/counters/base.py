@@ -144,7 +144,8 @@ class CounterBank(abc.ABC):
             if touched.size:
                 self._apply_site(site, touched, dense[touched])
 
-    def bulk_add_grouped(self, site_ids, counter_ids, counts) -> None:
+    def bulk_add_grouped(self, site_ids, counter_ids, counts, *,
+                         check: bool = True) -> None:
         """Apply pre-grouped ``(site, counter, count)`` increment triples.
 
         The fast path used by the streaming estimator's argsort sharding:
@@ -154,6 +155,12 @@ class CounterBank(abc.ABC):
         directly — no per-site masking or dense ``bincount`` scan — and sites
         are visited in ascending order, so randomized banks consume their RNG
         streams exactly as the per-site path would.
+
+        ``check=False`` skips the O(size) ordering/range validation; it is
+        reserved for callers that produce the triples by construction (the
+        streaming estimator's grouping pass emits ``flatnonzero`` output of
+        a dense per-site histogram, which is sorted and unique by design).
+        External callers should leave it on.
         """
         site_ids = np.asarray(site_ids, dtype=np.int64)
         counter_ids = np.asarray(counter_ids, dtype=np.int64)
@@ -164,20 +171,21 @@ class CounterBank(abc.ABC):
             raise CounterError("bulk_add_grouped expects 1-D arrays")
         if site_ids.size == 0:
             return
-        if site_ids[0] < 0 or site_ids[-1] >= self.n_sites:
-            raise CounterError("site id out of range")
-        if counter_ids.min() < 0 or counter_ids.max() >= self.n_counters:
-            raise CounterError("counter id out of range")
-        if counts.min() <= 0:
-            raise CounterError("bulk_add_grouped counts must be > 0")
-        site_steps = np.diff(site_ids)
-        if np.any(site_steps < 0):
-            raise CounterError("bulk_add_grouped site_ids must be sorted")
-        if np.any((site_steps == 0) & (np.diff(counter_ids) <= 0)):
-            raise CounterError(
-                "bulk_add_grouped (site, counter) pairs must be unique and "
-                "sorted counter-minor within each site"
-            )
+        if check:
+            if site_ids[0] < 0 or site_ids[-1] >= self.n_sites:
+                raise CounterError("site id out of range")
+            if counter_ids.min() < 0 or counter_ids.max() >= self.n_counters:
+                raise CounterError("counter id out of range")
+            if counts.min() <= 0:
+                raise CounterError("bulk_add_grouped counts must be > 0")
+            site_steps = np.diff(site_ids)
+            if np.any(site_steps < 0):
+                raise CounterError("bulk_add_grouped site_ids must be sorted")
+            if np.any((site_steps == 0) & (np.diff(counter_ids) <= 0)):
+                raise CounterError(
+                    "bulk_add_grouped (site, counter) pairs must be unique "
+                    "and sorted counter-minor within each site"
+                )
         self._apply_grouped(site_ids, counter_ids, counts)
 
     def _apply_grouped(self, site_ids: np.ndarray, counter_ids: np.ndarray,
@@ -190,6 +198,42 @@ class CounterBank(abc.ABC):
         for i in range(starts.size):
             lo, hi = bounds[i], bounds[i + 1]
             self._apply_site(int(site_ids[lo]), counter_ids[lo:hi], counts[lo:hi])
+
+    def bulk_add_table(self, table: np.ndarray, *, check: bool = True) -> None:
+        """Apply a dense ``(n_sites, n_counters)`` increment table.
+
+        The dense-histogram sibling of :meth:`bulk_add_grouped`: row
+        ``s`` holds site ``s``'s aggregated increments (zeros allowed).
+        The streaming estimator's dense grouping strategy already owns
+        exactly this table, so handing it over whole skips the
+        flatnonzero/divmod round-trip through sparse triples.  Sites are
+        processed in ascending order and silent sites are skipped, so
+        banks see the identical per-site calls the triple form produces
+        — byte-identical state and RNG consumption.
+
+        ``check=False`` skips validation for callers whose table is
+        non-negative by construction (a ``bincount`` output).
+        """
+        table = np.asarray(table, dtype=np.int64)
+        if table.shape != (self.n_sites, self.n_counters):
+            raise CounterError(
+                f"table must have shape ({self.n_sites}, "
+                f"{self.n_counters}), got {table.shape}"
+            )
+        if check and table.size and table.min() < 0:
+            raise CounterError("bulk_add_table counts must be >= 0")
+        self._apply_table(table)
+
+    def _apply_table(self, table: np.ndarray) -> None:
+        """Dispatch a validated dense table; sites ascending, silent sites
+        skipped.  Banks whose protocol is expressible as whole-table array
+        operations override this (see :class:`ExactCounterBank` and
+        :class:`~repro.counters.deterministic.DeterministicCounterBank`)."""
+        for site in range(self.n_sites):
+            row = table[site]
+            touched = np.flatnonzero(row)
+            if touched.size:
+                self._apply_site(site, touched, row[touched])
 
     def bulk_add_site(self, site: int, counter_ids, counts) -> None:
         """Apply pre-aggregated increments observed at one site.

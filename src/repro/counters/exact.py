@@ -41,6 +41,16 @@ class ExactCounterBank(CounterBank):
             touched, per_site[touched].astype(np.int64)
         )
 
+    def _apply_table(self, table) -> None:
+        # The dense-table fast path degenerates to three whole-array adds:
+        # no per-site slicing at all.
+        self._local += table.T
+        self._coordinator += table.sum(axis=0)
+        per_site = table.sum(axis=1)
+        touched = np.flatnonzero(per_site)
+        if touched.size:
+            self.message_log.record_reports_bulk(touched, per_site[touched])
+
     def state_dict(self) -> dict:
         state = super().state_dict()
         state["coordinator"] = self._coordinator.copy()

@@ -10,7 +10,8 @@
 - :mod:`repro.experiments.results` — result dataclasses with
   ``BENCH_*.json``-style serialization.
 - :mod:`repro.experiments.bench` — microbenchmarks for the training hot
-  path (update_batch grouping strategies, HYZ span-replay engines).
+  path (update_batch grouping strategies, HYZ span-replay engines, the
+  stage-level fused-ingest profiler).
 - :mod:`repro.experiments.presets` — paper-scenario presets: the Sec. V
   classification comparison, the Sec. IV-E separation sweep, and the
   long-stream crossover chart.
@@ -21,6 +22,7 @@
 
 from repro.experiments.bench import (
     benchmark_hyz_engines,
+    benchmark_ingest_stages,
     benchmark_update_strategies,
 )
 from repro.experiments.presets import (
@@ -50,6 +52,7 @@ __all__ = [
     "checkpoint_schedule",
     "make_partitioner",
     "benchmark_hyz_engines",
+    "benchmark_ingest_stages",
     "benchmark_update_strategies",
     "classification_experiment",
     "long_crossover_experiment",

@@ -15,6 +15,14 @@ orders, so instead of byte equality it cross-checks the protocol
 observables statistically: identical ground-truth totals, message counts
 within a tight relative band, and mean estimate error within a
 cross-engine band.
+
+``benchmark_ingest_stages`` is the stage-level profiler behind the
+``bench-ingest`` subcommand and the committed ``benchmarks/BENCH_*.json``
+trajectory: it drives the fused sampler→partitioner→estimator pipeline
+chunk by chunk for each batch encoder, reports a
+sample / partition / encode / update wall-clock breakdown, and asserts
+that every encoder leaves the counter bank byte-identical before any
+speedup is reported (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ import numpy as np
 from repro.api.spec import EstimatorSpec
 from repro.bn.repository import network_by_name
 from repro.bn.sampling import ForwardSampler
+from repro.core.estimator import ENCODERS
 from repro.monitoring.stream import UniformPartitioner
 from repro.utils.rng import RandomSource
 from repro.utils.validation import check_positive_int
@@ -35,6 +44,14 @@ STRATEGIES = ("masked", "argsort", "dense")
 
 #: HYZ engines timed by default, legacy baseline first.
 HYZ_ENGINES = ("sequential", "vectorized")
+
+#: Encoders profiled by default: the per-variable-loop reference pipeline
+#: first, then whatever the network size auto-selects (dense dgemm up to
+#: 256 variables, sparse segment-sum beyond).
+INGEST_ENCODERS = ("loop", "auto")
+
+#: The stage names of the fused ingest pipeline, in pipeline order.
+INGEST_STAGES = ("sample", "partition", "encode", "update")
 
 
 def benchmark_update_strategies(
@@ -236,5 +253,194 @@ def benchmark_hyz_engines(
         "n_events": n_events,
         "repeats": repeats,
         "messages_consistent": True,
+        "results": results,
+    }
+
+
+def _profile_ingest_once(
+    net,
+    spec: EstimatorSpec,
+    encoder: str,
+    *,
+    n_events: int,
+    chunk: int,
+    strategy: str,
+    seed: int,
+):
+    """One fused-pipeline ingest with per-stage timing.
+
+    Rebuilds the estimator, sampler, and partitioner from scratch (the
+    realistic cold path, like :func:`benchmark_hyz_engines`), then drives
+    the zero-copy chunk loop of ``MonitoringSession.ingest_sampler``
+    stage by stage: sample into the reused F-ordered buffer, assign
+    sites, ``update_batch(validate=False)``.  Returns the stage-seconds
+    dict, total wall seconds, and the finished estimator.
+    """
+    source = RandomSource(seed)
+    sampler = ForwardSampler(net, seed=source.generator())
+    partitioner = UniformPartitioner(spec.n_sites, seed=source.generator())
+    estimator = spec.build(network=net, encoder=encoder)
+    estimator.stage_times = {"encode": 0.0, "update": 0.0}
+    stages = {"sample": 0.0, "partition": 0.0}
+    storage = np.empty(
+        (net.n_variables, min(chunk, n_events)), dtype=np.int64
+    )
+    remaining = n_events
+    t_loop = time.perf_counter()
+    while remaining > 0:
+        size = min(chunk, remaining)
+        batch = storage[:, :size].T
+        t0 = time.perf_counter()
+        sampler.sample_into(batch)
+        stages["sample"] += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sites = partitioner.assign(size)
+        stages["partition"] += time.perf_counter() - t0
+        estimator.update_batch(batch, sites, strategy=strategy, validate=False)
+        remaining -= size
+    wall = time.perf_counter() - t_loop
+    stages.update(estimator.stage_times)
+    estimator.stage_times = None
+    return stages, wall, estimator
+
+
+def benchmark_ingest_stages(
+    network="link",
+    *,
+    algorithm: str = "nonuniform",
+    eps: float = 0.3,
+    n_sites: int = 10,
+    n_events: int = 100_000,
+    chunk: int = 10_000,
+    repeats: int = 1,
+    seed: int = 0,
+    encoders=INGEST_ENCODERS,
+    counter_backend: str = "hyz",
+    hyz_engine: str = "vectorized",
+    strategy: str = "auto",
+) -> dict:
+    """Stage-level profile of the fused ingest pipeline per batch encoder.
+
+    Every encoder ingests the *same* stream (sampler, partitioner, and
+    bank seeds are re-derived identically) through the fused zero-copy
+    chunk loop, and the wall clock is split into the four pipeline
+    stages: ``sample`` (forward sampling), ``partition`` (site
+    assignment), ``encode`` (event → counter ids), and ``update``
+    (grouping plus the counter-bank protocol).  ``ingest_wall_seconds``
+    — encode plus update, the estimator-side cost the encoders compete
+    on — is the headline: each non-baseline encoder reports its
+    ``speedup_vs_<baseline>`` on it.
+
+    Before any timing is reported the final counter banks are checked
+    byte-for-byte across encoders (site-local counts, coordinator
+    estimates, message tallies), so a speedup can never come from
+    diverging semantics.  With ``repeats > 1`` each encoder's stage
+    times are elementwise minima over fresh cold runs.
+    """
+    check_positive_int(repeats, "repeats")
+    check_positive_int(chunk, "chunk")
+    check_positive_int(n_events, "n_events")
+    encoders = tuple(encoders)
+    if len(encoders) < 1:
+        raise ValueError("benchmark_ingest_stages needs at least one encoder")
+    for enc in encoders:
+        if enc not in ENCODERS:
+            raise ValueError(
+                f"unknown encoder {enc!r}; expected one of {ENCODERS}"
+            )
+    net = network_by_name(network) if isinstance(network, str) else network
+    spec = EstimatorSpec(
+        network=net, algorithm=algorithm, eps=eps, n_sites=n_sites,
+        seed=seed + 1, counter_backend=counter_backend,
+        hyz_engine=hyz_engine,
+    )
+
+    stage_times: dict[str, dict[str, float]] = {}
+    walls: dict[str, float] = {}
+    resolved: dict[str, str] = {}
+    states: dict[str, np.ndarray] = {}
+    estimates: dict[str, np.ndarray] = {}
+    messages: dict[str, int] = {}
+    snapshots: dict[str, dict] = {}
+    for enc in encoders:
+        best_stages = None
+        best_wall = float("inf")
+        for _ in range(repeats):
+            stages, wall, estimator = _profile_ingest_once(
+                net, spec, enc,
+                n_events=n_events, chunk=chunk, strategy=strategy, seed=seed,
+            )
+            if best_stages is None:
+                best_stages = stages
+            else:
+                best_stages = {
+                    key: min(best_stages[key], stages[key])
+                    for key in best_stages
+                }
+            best_wall = min(best_wall, wall)
+        stage_times[enc] = best_stages
+        walls[enc] = best_wall
+        resolved[enc] = estimator.encoder
+        states[enc] = estimator.bank._local.copy()
+        estimates[enc] = estimator.bank.estimates()
+        messages[enc] = estimator.total_messages
+        snapshots[enc] = estimator.bank.message_log.snapshot()
+
+    baseline = encoders[0]
+    for enc in encoders[1:]:
+        if not np.array_equal(states[baseline], states[enc]) or not (
+            np.array_equal(estimates[baseline], estimates[enc])
+        ):
+            raise AssertionError(
+                f"encoder {enc!r} diverged from {baseline!r}: counter "
+                "states differ"
+            )
+        if snapshots[baseline] != snapshots[enc]:
+            raise AssertionError(
+                f"encoder {enc!r} diverged from {baseline!r}: "
+                f"{snapshots[enc]} != {snapshots[baseline]} messages"
+            )
+
+    results = []
+    for enc in encoders:
+        stages = stage_times[enc]
+        ingest = stages["encode"] + stages["update"]
+        entry = {
+            "encoder": enc,
+            "resolved_encoder": resolved[enc],
+            "stages": [
+                {"stage": name, "wall_seconds": stages[name]}
+                for name in INGEST_STAGES
+            ],
+            "ingest_wall_seconds": ingest,
+            "wall_seconds": walls[enc],
+            "events_per_second": n_events / walls[enc],
+            "ingest_events_per_second": n_events / ingest,
+            "total_messages": messages[enc],
+        }
+        if enc != baseline:
+            baseline_ingest = (
+                stage_times[baseline]["encode"]
+                + stage_times[baseline]["update"]
+            )
+            entry[f"speedup_vs_{baseline}"] = baseline_ingest / ingest
+        results.append(entry)
+    return {
+        "benchmark": "ingest-stages",
+        "baseline_encoder": baseline,
+        "network": net.name,
+        "n_variables": net.n_variables,
+        "algorithm": algorithm,
+        "counter_backend": counter_backend,
+        "hyz_engine": hyz_engine,
+        "strategy": strategy,
+        "eps": eps,
+        "n_sites": n_sites,
+        "n_events": n_events,
+        "chunk": chunk,
+        "repeats": repeats,
+        "seed": seed,
+        "n_counters": int(states[baseline].shape[0]),
+        "states_identical": True,
         "results": results,
     }

@@ -16,6 +16,9 @@ One subcommand per figure family of Zhang, Tirthapura & Cormode (ICDE 2018):
 - ``figures``    — ASCII plots from any ``BENCH_*.json`` document.
 - ``bench``      — microbenchmark of the update_batch grouping strategies.
 - ``bench-hyz``  — microbenchmark of the HYZ span-replay engines.
+- ``bench-ingest`` — stage-level profile of the fused ingest pipeline
+  (sample / partition / encode / update) per batch encoder; produces the
+  committed ``benchmarks/BENCH_ingest_*.json`` trajectory.
 
 Each subcommand prints an aligned summary table to stderr and writes a
 ``BENCH_*.json``-style document to ``--out`` (stdout by default).
@@ -47,7 +50,10 @@ from repro.counters.hyz import ENGINES
 from repro.exec.base import executor_names
 from repro.experiments import figures
 from repro.experiments.bench import (
+    INGEST_ENCODERS,
+    INGEST_STAGES,
     benchmark_hyz_engines,
+    benchmark_ingest_stages,
     benchmark_update_strategies,
 )
 from repro.experiments.presets import (
@@ -351,6 +357,32 @@ def main(argv=None) -> int:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--out", default=None)
 
+    p_bench_ingest = sub.add_parser(
+        "bench-ingest",
+        help="stage-level profile of the fused ingest pipeline per encoder",
+    )
+    p_bench_ingest.add_argument("--network", default="link")
+    p_bench_ingest.add_argument("--algorithm", default="nonuniform")
+    p_bench_ingest.add_argument("--eps", type=float, default=0.3)
+    p_bench_ingest.add_argument("--sites", type=int, default=10)
+    p_bench_ingest.add_argument("--events", type=int, default=100_000)
+    p_bench_ingest.add_argument(
+        "--chunk", type=int, default=10_000,
+        help="events per fused-pipeline chunk (default: %(default)s)",
+    )
+    p_bench_ingest.add_argument("--repeats", type=int, default=1)
+    p_bench_ingest.add_argument(
+        "--encoders", type=_csv, default=list(INGEST_ENCODERS),
+        help="comma-separated encoder list, baseline first "
+        "(default: %(default)s)",
+    )
+    p_bench_ingest.add_argument("--counter-backend", default="hyz",
+                                choices=["hyz", "deterministic"])
+    p_bench_ingest.add_argument("--hyz-engine", default="vectorized",
+                                choices=list(ENGINES))
+    p_bench_ingest.add_argument("--seed", type=int, default=0)
+    p_bench_ingest.add_argument("--out", default=None)
+
     p_bench_hyz = sub.add_parser(
         "bench-hyz", help="microbenchmark the HYZ span-replay engines"
     )
@@ -520,6 +552,45 @@ def main(argv=None) -> int:
                 ["strategy", "ms/batch", f"speedup-vs-{baseline}"], rows,
                 title=f"update_batch microbenchmark "
                       f"(k={args.sites}, m={args.events})",
+            ),
+        )
+        return 0
+    if args.command == "bench-ingest":
+        document = benchmark_ingest_stages(
+            args.network,
+            algorithm=args.algorithm,
+            eps=args.eps,
+            n_sites=args.sites,
+            n_events=args.events,
+            chunk=args.chunk,
+            repeats=args.repeats,
+            seed=args.seed,
+            encoders=args.encoders,
+            counter_backend=args.counter_backend,
+            hyz_engine=args.hyz_engine,
+        )
+        baseline = document["baseline_encoder"]
+        rows = []
+        for r in document["results"]:
+            stage_ms = {
+                s["stage"]: s["wall_seconds"] * 1e3 for s in r["stages"]
+            }
+            rows.append(
+                [r["encoder"], r["resolved_encoder"]]
+                + [stage_ms[name] for name in INGEST_STAGES]
+                + [r["ingest_wall_seconds"] * 1e3,
+                   r.get(f"speedup_vs_{baseline}", "-")]
+            )
+        _emit(
+            document, args.out,
+            summary=format_table(
+                ["encoder", "resolved"]
+                + [f"{name}-ms" for name in INGEST_STAGES]
+                + ["ingest-ms", f"speedup-vs-{baseline}"],
+                rows,
+                title=f"ingest stage profile ({document['network']}, "
+                      f"n={document['n_variables']}, m={args.events}, "
+                      f"k={args.sites})",
             ),
         )
         return 0

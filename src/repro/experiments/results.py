@@ -19,19 +19,40 @@ from pathlib import Path
 SCHEMA = "repro-bench-v1"
 
 
+#: Keys holding wall-clock measurements or quantities derived from them
+#: (rates, per-batch times).  ``runtime_seconds`` in the modeled runtime
+#: block is *not* here: it is a deterministic function of the descriptors.
+_TIMING_KEYS = frozenset({
+    "wall_seconds",
+    "ingest_wall_seconds",
+    "events_per_second",
+    "ingest_events_per_second",
+    "ms_per_batch",
+    "ms_per_ingest",
+})
+
+
+def _is_timing_key(key) -> bool:
+    return key in _TIMING_KEYS or (
+        isinstance(key, str) and key.startswith("speedup_vs_")
+    )
+
+
 def strip_timing(payload):
     """A deep copy of ``payload`` with wall-clock measurements zeroed.
 
     Everything in a ``repro-bench-v1`` document is a pure function of
-    the run descriptors *except* ``wall_seconds``, which measures this
-    machine's actual training time.  Equivalence checks across executors
-    (serial vs multiprocess vs chunked, interrupted vs uninterrupted)
-    therefore compare documents through this canonicalization; the
-    modeled ``runtime`` block is deterministic and left untouched.
+    the run descriptors *except* the wall-clock fields (and ratios of
+    them, like ``events_per_second`` or ``speedup_vs_*``), which measure
+    this machine.  Equivalence checks across executors (serial vs
+    multiprocess vs chunked, interrupted vs uninterrupted) and against
+    the committed ``benchmarks/BENCH_*.json`` baselines therefore
+    compare documents through this canonicalization; the modeled
+    ``runtime`` block is deterministic and left untouched.
     """
     if isinstance(payload, dict):
         return {
-            key: (0.0 if key == "wall_seconds" else strip_timing(value))
+            key: (0.0 if _is_timing_key(key) else strip_timing(value))
             for key, value in payload.items()
         }
     if isinstance(payload, list):

@@ -29,9 +29,30 @@ class StreamPartitioner(abc.ABC):
     def assign(self, m: int) -> np.ndarray:
         """Site index in ``[0, k)`` for each of the next ``m`` items."""
 
+    def preview(self, m: int) -> np.ndarray:
+        """The next ``m`` assignments *without* consuming the stream.
+
+        Implemented through the snapshot protocol: state (RNG bit
+        generator, rotation cursor, ...) is captured, :meth:`assign`
+        draws, and the state is restored — so a previewed run is exactly
+        what the next real :meth:`assign` calls will produce, and calling
+        it mid-stream leaves the live assignment stream byte-identical
+        (the snapshot/resume contract of ``MonitoringSession``).
+        """
+        state = self.state_dict()
+        try:
+            return self.assign(m)
+        finally:
+            self.load_state_dict(state)
+
     def site_shares(self, m: int = 100_000) -> np.ndarray:
-        """Empirical fraction of items per site over an ``m``-item draw."""
-        sites = self.assign(m)
+        """Empirical fraction of items per site over an ``m``-item draw.
+
+        A diagnostic :meth:`preview`: it never advances the partitioner,
+        so probing the share distribution mid-run cannot perturb the
+        site-assignment stream of a monitored session.
+        """
+        sites = self.preview(m)
         return np.bincount(sites, minlength=self.n_sites) / m
 
     # ------------------------------------------------------------------
@@ -126,11 +147,21 @@ class ZipfPartitioner(StreamPartitioner):
         self.exponent = float(exponent)
         weights = 1.0 / np.arange(1, self.n_sites + 1, dtype=np.float64) ** exponent
         self._probabilities = weights / weights.sum()
+        # Precomputed inverse-CDF table, normalized exactly the way
+        # ``Generator.choice(p=...)`` normalizes internally: ``assign``
+        # then draws the same one-uniform-per-item stream the old
+        # ``rng.choice`` call did, while skipping choice's per-call
+        # probability validation and cumsum (the PR 2 RNG-contract
+        # precedent: per-partitioner self-consistency plus statistical
+        # identity with the previous draw, pinned by the test suite).
+        cdf = np.cumsum(self._probabilities)
+        cdf /= cdf[-1]
+        self._cdf = cdf
         self._rng = as_generator(seed)
 
     def assign(self, m: int) -> np.ndarray:
         m = check_positive_int(m, "m")
-        return self._rng.choice(self.n_sites, size=m, p=self._probabilities)
+        return np.searchsorted(self._cdf, self._rng.random(m), side="right")
 
     def state_dict(self) -> dict:
         state = super().state_dict()

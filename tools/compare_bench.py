@@ -2,11 +2,15 @@
 """Assert two ``BENCH_*.json`` documents are equivalent.
 
 Everything in a ``repro-bench-v1`` document is a pure function of the
-run descriptors except the ``wall_seconds`` measurements, so this tool
-zeroes those (``repro.experiments.results.strip_timing``) and compares
-the canonical JSON byte-for-byte.  ``make smoke`` uses it to enforce the
-executor determinism contract: a multiprocess or chunked grid must match
-the serial reference exactly.
+run descriptors except the wall-clock measurements and their derived
+rates/speedups, so this tool zeroes those
+(``repro.experiments.results.strip_timing``) and compares the canonical
+JSON byte-for-byte.  ``make smoke`` uses it to enforce the executor
+determinism contract (a multiprocess or chunked grid must match the
+serial reference exactly), and ``make bench-smoke`` uses it to check a
+fresh tiny ingest profile against the committed
+``benchmarks/BENCH_ingest_smoke.json`` baseline — the batch encoders'
+determinism contract.
 
 Usage: ``python tools/compare_bench.py A.json B.json`` — exits 0 when
 equivalent, 1 with a first-difference summary otherwise.
