@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench bench-hyz bench-ingest bench-smoke \
-	bench-baselines docs-check check
+.PHONY: test smoke bench bench-hyz bench-ingest bench-sampling \
+	bench-smoke bench-baselines docs-check check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -69,6 +69,10 @@ bench-ingest:
 	    --events 100000 --chunk 20000 --sites 10 --algorithm exact \
 	    --encoders loop,sparse --repeats 2
 
+bench-sampling:
+	$(PYTHON) -m repro.experiments bench-sampling --network link \
+	    --events 100000 --chunk 20000 --repeats 2
+
 # Regenerate the committed benchmark trajectory (paper-scale; minutes).
 # Non-timing fields must reproduce exactly — compare_bench checks that.
 bench-baselines:
@@ -92,15 +96,33 @@ bench-baselines:
 	    --events 2000 --chunk 1000 --sites 5 --algorithm exact \
 	    --encoders loop,sparse \
 	    --out benchmarks/BENCH_ingest_smoke.json
+	$(PYTHON) -m repro.experiments bench-sampling --network alarm \
+	    --events 100000 --chunk 20000 --repeats 2 \
+	    --out benchmarks/BENCH_sampling_alarm.json
+	$(PYTHON) -m repro.experiments bench-sampling --network link \
+	    --events 100000 --chunk 20000 --repeats 2 \
+	    --out benchmarks/BENCH_sampling_link.json
+	$(PYTHON) -m repro.experiments bench-sampling --network munin \
+	    --events 100000 --chunk 20000 --repeats 2 \
+	    --out benchmarks/BENCH_sampling_munin.json
+	$(PYTHON) -m repro.experiments bench-sampling --network link \
+	    --events 2000 --chunk 1000 --repeats 1 \
+	    --out benchmarks/BENCH_sampling_smoke.json
 
-# A tiny ingest benchmark whose non-timing fields must match the
-# committed baseline byte-for-byte (the encoder determinism contract).
+# Tiny ingest + sampling benchmarks whose non-timing fields must match
+# the committed baselines byte-for-byte (the encoder and sampler-engine
+# determinism contracts).
 bench-smoke:
 	$(PYTHON) -m repro.experiments bench-ingest --network link \
 	    --events 2000 --chunk 1000 --sites 5 --algorithm exact \
 	    --encoders loop,sparse --out /tmp/repro_bench_smoke.json
 	$(PYTHON) tools/compare_bench.py /tmp/repro_bench_smoke.json \
 	    benchmarks/BENCH_ingest_smoke.json
+	$(PYTHON) -m repro.experiments bench-sampling --network link \
+	    --events 2000 --chunk 1000 --repeats 1 \
+	    --out /tmp/repro_bench_smoke_sampling.json
+	$(PYTHON) tools/compare_bench.py /tmp/repro_bench_smoke_sampling.json \
+	    benchmarks/BENCH_sampling_smoke.json
 
 docs-check:
 	$(PYTHON) tools/check_docs.py

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.api.spec import EstimatorSpec
 from repro.bn.network import BayesianNetwork
+from repro.bn.sampling import ForwardSampler
 from repro.core.classification import BayesianClassifier
 from repro.errors import SessionError
 from repro.monitoring.channel import MessageLog
@@ -183,6 +184,26 @@ class MonitoringSession:
             sampler.sample_stream(m, chunk=chunk, reuse_buffer=True),
             strategy=strategy,
             validate=False,
+        )
+
+    def sampler(self, *, seed=None, engine: str = "auto",
+                shards: int | None = None, mode: str | None = None):
+        """A ground-truth sampler over this session's network.
+
+        The companion to :meth:`ingest_sampler`: with ``mode=None``
+        (default) returns a :class:`~repro.bn.sampling.ForwardSampler`
+        with the requested ``engine``; with a
+        :data:`~repro.exec.sampler.SHARD_MODES` name returns a
+        :class:`~repro.exec.ShardedSampler` drawing chunk-parallel over
+        ``shards`` workers.  Either way the result plugs straight into
+        ``session.ingest_sampler(session.sampler(seed=0), m)``.
+        """
+        if mode is None:
+            return ForwardSampler(self.network, seed=seed, engine=engine)
+        from repro.exec.sampler import ShardedSampler
+
+        return ShardedSampler(
+            self.network, shards=shards, seed=seed, mode=mode, engine=engine
         )
 
     # ------------------------------------------------------------------

@@ -167,6 +167,27 @@ class TabularCPD:
         """Column-wise cumulative sums, used by the forward sampler."""
         return np.cumsum(self.values, axis=0)
 
+    def packed_cdf(self) -> np.ndarray:
+        """Flat inverse-CDF table over all parent configurations.
+
+        Entry ``k * J + j`` holds ``k + cdf[j, k]`` with each column's
+        cumulative sums clamped to 1 and the last entry pinned to exactly
+        ``k + 1``, so the whole length-``K*J`` array is globally
+        non-decreasing.  One ``searchsorted(packed, k + u, side="right")``
+        then inverts the CDF of configuration ``k`` for a whole batch at
+        once — for ``u`` in ``[0, 1)`` the hit lands strictly inside
+        column ``k`` (entries of earlier columns are ``<= k`` and later
+        columns start at ``>= k + 1``), and the returned index minus
+        ``k * J`` is the sampled child state.  This is the forward
+        sampler's per-variable table; see ``docs/performance.md``.
+        """
+        cdf = np.minimum(np.cumsum(self.values, axis=0), 1.0)
+        cdf[-1, :] = 1.0
+        offsets = np.arange(self.parent_configurations, dtype=np.float64)
+        packed = np.ascontiguousarray((cdf.T + offsets[:, None]).ravel())
+        packed.setflags(write=False)
+        return packed
+
     def __eq__(self, other) -> bool:
         if not isinstance(other, TabularCPD):
             return NotImplemented

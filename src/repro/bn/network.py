@@ -148,6 +148,33 @@ class BayesianNetwork:
             dtype=np.int64,
         )
 
+    def stride_rows(self) -> list[tuple[int, int, tuple[tuple[int, int], ...]]]:
+        """Per-variable ``(J_i, K_i, ((parent position, stride), ...))`` rows.
+
+        One row per variable in topological order; ``parent position`` is
+        the parent's topological index and ``stride`` its mixed-radix
+        weight in the CPD's parent-configuration code.  All values are
+        plain Python ints (no array-scalar boxing in per-row numpy calls).
+
+        This is the *shared stride plan*: the estimator's sparse batch
+        encoder (``core/estimator.py``'s ``_SparseEncodePlan``) and the
+        forward sampler's packed inverse-CDF tables
+        (:meth:`~repro.bn.cpd.TabularCPD.packed_cdf`) both derive their
+        per-variable multiply-accumulate plans from these rows, so the
+        two hot paths can never disagree about the configuration code.
+        """
+        rows = []
+        for name in self._order:
+            cpd = self._cpds[name]
+            parents = tuple(
+                (self._index[p], int(s))
+                for p, s in zip(cpd.parent_names, cpd._strides)
+            )
+            rows.append(
+                (int(cpd.cardinality), int(cpd.parent_configurations), parents)
+            )
+        return rows
+
     @property
     def parameter_count(self) -> int:
         """Total free parameters ``sum_i (J_i - 1) * K_i`` (Table I)."""

@@ -2,9 +2,30 @@
 
 The paper generates training data by ordering the nodes topologically and
 assigning each variable from its CPD given already-sampled parents
-(Sec. VI-A, "Training Data").  The sampler below does exactly that, one
-variable at a time but vectorized over instances, so streams of millions of
-rows are practical in pure numpy.
+(Sec. VI-A, "Training Data").  The sampler below does exactly that,
+vectorized over instances, through one of two **engines** (the PR 2 RNG
+precedent: engines are byte-identical for a fixed engine and seed, and
+statistically identical to each other — pinned by chi-squared per-CPD
+marginals in the test suite and asserted by ``bench-sampling``):
+
+- ``"cdf"`` (the ``"auto"`` default) — precomputed per-variable CDF
+  tables laid out by the parent-configuration stride code of the shared
+  stride plan (:meth:`~repro.bn.network.BayesianNetwork.stride_rows`).
+  Each topological level draws its uniforms in one block, then each
+  variable inverts its CDF for the whole batch with ``(m,)``-shaped
+  scratch rows only: a per-state gather-and-count against contiguous
+  CDF rows when ``J`` is small (every gather row is L1-resident and no
+  pass depends on the previous one), or one ``searchsorted`` over the
+  packed table of :meth:`~repro.bn.cpd.TabularCPD.packed_cdf` for
+  large-``J`` variables where counting would need too many passes.
+- ``"reference"`` — the original per-variable ``(J, m)`` CDF gather +
+  comparison-count inversion, kept byte-for-byte as the engine the fast
+  path is benchmarked and statistically cross-checked against.
+
+Streams of millions of rows are practical in pure numpy either way; the
+``"cdf"`` engine removes the ``O(J * m)`` temporaries and allocator
+traffic that made sampling dominate end-to-end ingest wall clock (see
+``benchmarks/`` and ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -15,8 +36,31 @@ import numpy as np
 
 from repro.bn.network import BayesianNetwork
 from repro.errors import StreamError
-from repro.utils.rng import as_generator
+from repro.utils.rng import as_generator, restore_generator_state
 from repro.utils.validation import check_positive_int
+
+#: Engine names accepted by :class:`ForwardSampler`.
+SAMPLER_ENGINES = ("auto", "cdf", "reference")
+
+#: Largest child cardinality inverted by the gather-and-count path; above
+#: it the ``"cdf"`` engine switches to one packed-table ``searchsorted``
+#: per variable.  Counting costs ``J - 1`` contiguous passes against one
+#: latency-bound binary search; measured on the paper networks (J up to
+#: 21) counting wins throughout, so the crossover only guards synthetic
+#: networks with very wide domains.  The rule depends on the network
+#: alone, never on the data, so a fixed engine and seed stay
+#: byte-identical.
+_COUNT_MAX_CARDINALITY = 32
+
+
+def resolve_engine(engine: str) -> str:
+    """Validate an engine name and resolve ``"auto"`` to the default."""
+    if engine not in SAMPLER_ENGINES:
+        raise StreamError(
+            f"unknown sampler engine {engine!r}; expected one of "
+            f"{SAMPLER_ENGINES}"
+        )
+    return "cdf" if engine == "auto" else engine
 
 
 class ForwardSampler:
@@ -28,20 +72,63 @@ class ForwardSampler:
         The ground-truth network.
     seed:
         Seed or generator; a fixed seed gives a reproducible stream.
+    engine:
+        Batch draw engine (:data:`SAMPLER_ENGINES`).  ``"auto"`` resolves
+        to ``"cdf"``.  For a fixed engine and seed, ``sample`` /
+        ``sample_into`` / ``sample_stream`` produce byte-identical values
+        for the same sequence of batch sizes; across engines the streams
+        differ but follow the same distribution (the engines consume
+        randomness differently).
     """
 
-    def __init__(self, network: BayesianNetwork, *, seed=None) -> None:
+    def __init__(
+        self, network: BayesianNetwork, *, seed=None, engine: str = "auto"
+    ) -> None:
         self.network = network
         self._rng = as_generator(seed)
-        # Precompute per-variable sampling state in topological order.
-        self._plan = []
-        for idx, name in enumerate(network.node_names):
+        self.engine = resolve_engine(engine)
+        # Per-variable tables over the shared stride plan.  ``state_rows``
+        # holds the first J-1 CDF rows, each contiguous over the K parent
+        # configurations, for the gather-and-count inversion; ``packed``
+        # is the flat searchsorted table — always built, because
+        # ``sample_event`` draws through it whatever the batch engine.
+        rows = network.stride_rows()
+        self._tables = []
+        for name, (cardinality, _, parents) in zip(network.node_names, rows):
             cpd = network.cpd(name)
-            parent_positions = np.array(
-                [network.variable_index(p) for p in cpd.parent_names],
-                dtype=np.int64,
+            if 1 < cardinality <= _COUNT_MAX_CARDINALITY:
+                cdf = np.minimum(np.cumsum(cpd.values, axis=0), 1.0)
+                state_rows = [
+                    np.ascontiguousarray(cdf[j])
+                    for j in range(cardinality - 1)
+                ]
+            else:
+                state_rows = None
+            self._tables.append(
+                (cardinality, list(parents), state_rows, cpd.packed_cdf())
             )
-            self._plan.append((idx, cpd, parent_positions, cpd.cdf()))
+        # Topological levels: level(X) = 1 + max(level(parents)), so every
+        # variable in a level depends only on earlier levels and the
+        # level's uniforms can be drawn in one block.
+        level_of: list[int] = []
+        by_level: dict[int, list[int]] = {}
+        for index, (_, _, parents) in enumerate(rows):
+            level = 1 + max((level_of[p] for p, _ in parents), default=-1)
+            level_of.append(level)
+            by_level.setdefault(level, []).append(index)
+        self._levels = [by_level[level] for level in sorted(by_level)]
+        self._max_level_width = max(len(level) for level in self._levels)
+        if self.engine == "reference":
+            # The original per-variable plan, kept byte-for-byte.
+            self._plan = []
+            for idx, name in enumerate(network.node_names):
+                cpd = network.cpd(name)
+                parent_positions = np.array(
+                    [network.variable_index(p) for p in cpd.parent_names],
+                    dtype=np.int64,
+                )
+                self._plan.append((idx, cpd, parent_positions, cpd.cdf()))
+        self._scratch: dict = {}
 
     def sample(self, m: int) -> np.ndarray:
         """Draw ``m`` instances; returns ``(m, n)`` int64 state indices.
@@ -73,9 +160,84 @@ class ForwardSampler:
                 f"sample_into needs an int64 buffer of shape (m, {n}), "
                 f"got {out.dtype} {out.shape}"
             )
-        m = out.shape[0]
-        if m == 0:
+        if out.shape[0] == 0:
             return out
+        if self.engine == "reference":
+            return self._sample_into_reference(out)
+        return self._sample_into_cdf(out)
+
+    def _buffer(self, key: str, shape, dtype) -> np.ndarray:
+        """A reusable scratch array; reallocated only when ``shape`` moves.
+
+        Chunked ingest feeds same-size batches, so in steady state the
+        engine touches no allocator at all (the zero-copy contract of
+        ``MonitoringSession.ingest_sampler``).
+        """
+        buf = self._scratch.get(key)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape, dtype=dtype)
+            self._scratch[key] = buf
+        return buf
+
+    def _sample_into_cdf(self, out: np.ndarray) -> np.ndarray:
+        """The fast engine: per-level uniform blocks, ``(m,)`` scratch only.
+
+        Per variable the mixed-radix parent code ``cfg`` is accumulated
+        from the shared stride rows, then the CDF is inverted either by
+        gather-and-count over the per-state contiguous rows (each
+        ``take`` reads a K-entry L1-resident row) or, for wide domains,
+        by one ``searchsorted`` over the packed table with search key
+        ``cfg + u`` (see :meth:`~repro.bn.cpd.TabularCPD.packed_cdf`).
+        """
+        m = out.shape[0]
+        cfg = self._buffer("cfg", (m,), np.int64)
+        tmp = self._buffer("tmp", (m,), np.int64)
+        key = self._buffer("key", (m,), np.float64)
+        gathered = self._buffer("gathered", (m,), np.float64)
+        below = self._buffer("below", (m,), bool)
+        count = self._buffer("count", (m,), np.int64)
+        uniforms = self._buffer(
+            "uniforms", (self._max_level_width, m), np.float64
+        )
+        for level in self._levels:
+            u_block = uniforms[: len(level)]
+            self._rng.random(out=u_block)
+            for u, index in zip(u_block, level):
+                cardinality, parents, state_rows, packed = self._tables[index]
+                column = out[:, index]
+                if parents:
+                    position, stride = parents[0]
+                    np.multiply(out[:, position], stride, out=cfg)
+                    for position, stride in parents[1:]:
+                        np.multiply(out[:, position], stride, out=tmp)
+                        cfg += tmp
+                else:
+                    cfg[:] = 0
+                if cardinality == 1:
+                    column[:] = 0
+                elif state_rows is not None:
+                    np.take(state_rows[0], cfg, out=gathered)
+                    np.less(gathered, u, out=below)
+                    if cardinality == 2:
+                        np.copyto(column, below)
+                        continue
+                    np.copyto(count, below)
+                    for row in state_rows[1:]:
+                        np.take(row, cfg, out=gathered)
+                        np.less(gathered, u, out=below)
+                        count += below
+                    np.copyto(column, count)
+                else:
+                    np.add(cfg, u, out=key)
+                    hit = packed.searchsorted(key, side="right")
+                    np.multiply(cfg, cardinality, out=cfg)
+                    hit -= cfg
+                    np.copyto(column, hit)
+        return out
+
+    def _sample_into_reference(self, out: np.ndarray) -> np.ndarray:
+        """The original engine, byte-for-byte: ``(J, m)`` gather + count."""
+        m = out.shape[0]
         for idx, cpd, parent_positions, cdf in self._plan:
             if parent_positions.size:
                 col_index = cpd.parent_index_array(out[:, parent_positions])
@@ -83,8 +245,7 @@ class ForwardSampler:
                 col_index = np.zeros(m, dtype=np.int64)
             u = self._rng.random(m)
             # cdf has shape (J, K); gather each row's column then invert the
-            # CDF with a comparison count (J is small, so this beats
-            # searchsorted per row).
+            # CDF with a comparison count.
             row_cdf = cdf[:, col_index]  # (J, m)
             out[:, idx] = (u[None, :] > row_cdf).sum(axis=0)
         return out
@@ -129,7 +290,10 @@ class ForwardSampler:
         """Sample a partial assignment over an ancestrally closed node set.
 
         Only the closure of ``nodes`` is sampled (in topological order), so
-        events over small subsets are cheap even in huge networks.
+        events over small subsets are cheap even in huge networks.  Draws
+        one uniform per node and inverts through the packed CDF table —
+        the stream is deterministic for a fixed seed and independent of
+        the batch engine.
 
         Raises
         ------
@@ -139,11 +303,53 @@ class ForwardSampler:
         if not nodes:
             raise StreamError("sample_event requires at least one node")
         closure = self.network.dag.ancestral_closure(nodes)
-        ordered = [n for n in self.network.node_names if n in closure]
         values: dict[str, int] = {}
-        for name in ordered:
+        for name in self.network.node_names:
+            if name not in closure:
+                continue
+            index = self.network.variable_index(name)
+            cardinality, parents, _, packed = self._tables[index]
             cpd = self.network.cpd(name)
-            parent_states = [values[p] for p in cpd.parent_names]
-            column = cpd.values[:, cpd.parent_index(parent_states)]
-            values[name] = int(self._rng.choice(cpd.cardinality, p=column))
+            cfg = 0
+            for (_, stride), parent in zip(parents, cpd.parent_names):
+                cfg += values[parent] * stride
+            hit = int(
+                packed.searchsorted(cfg + self._rng.random(), side="right")
+            )
+            values[name] = hit - cfg * cardinality
         return values
+
+    # ------------------------------------------------------------------
+    # Snapshot protocol: the RNG stream position, so a monitored session
+    # can checkpoint mid-stream and resume byte-identically.
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-serializable snapshot of the sampler's stream position."""
+        return {
+            "kind": "forward-sampler",
+            "engine": self.engine,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (in place).
+
+        The snapshot's engine must match: engines consume randomness
+        differently, so restoring a stream into the other engine would
+        silently fork it.
+        """
+        if state.get("kind") != "forward-sampler":
+            raise StreamError(
+                f"snapshot holds a {state.get('kind')!r} state, cannot "
+                "restore into a forward sampler"
+            )
+        if state.get("engine") != self.engine:
+            raise StreamError(
+                f"snapshot holds a {state.get('engine')!r}-engine stream, "
+                f"cannot restore into the {self.engine!r} engine (engines "
+                "consume randomness differently)"
+            )
+        try:
+            self._rng = restore_generator_state(self._rng, state["rng_state"])
+        except ValueError as exc:
+            raise StreamError(str(exc)) from exc

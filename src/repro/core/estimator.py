@@ -18,13 +18,16 @@ Three **batch encoders** produce the counter ids (``docs/performance.md``
 maps the whole hot path):
 
 - ``"dense"`` — an (n, n) stride-matrix dgemm encodes every
-  parent-configuration code of a batch in one matmul; the default for
-  ``n <= 256`` variables.
-- ``"sparse"`` — the large-network fast path: the per-variable
-  ``(parent position, stride)`` pairs are flattened into depth-grouped
-  arrays over a *transposed* ``(n, m)`` batch, so each gather/multiply/add
+  parent-configuration code of a batch in one matmul; kept selectable by
+  name for benchmarking.
+- ``"sparse"`` — the ``"auto"`` default at every size: the per-variable
+  ``(parent position, stride)`` pairs of the shared stride plan
+  (:meth:`~repro.bn.network.BayesianNetwork.stride_rows`) are walked
+  over a *transposed* ``(n, m)`` batch, so each gather/multiply/add
   is a contiguous row operation; ``O(edges)`` work per event with no
-  Python-loop-per-variable.  The default above 256 variables.
+  Python-loop-per-variable.  The committed ALARM profile
+  (``benchmarks/BENCH_ingest_alarm.json``, n=37) shows it beating the
+  dgemm already at small n, so ``"auto"`` no longer crosses over.
 - ``"loop"`` — the original per-variable Python loop, kept byte-for-byte
   as the reference engine that the profiler benchmarks the fast paths
   against.
@@ -58,9 +61,11 @@ from repro.utils.validation import check_positive_int
 #: back to argsort sharding.
 _DENSE_GROUP_BUDGET = 1 << 23
 
-#: Largest variable count for which the dense stride-matrix dgemm encoder is
-#: auto-selected; larger (sparse) networks get the transposed segment-sum
-#: encoder, whose work is O(edges) rather than O(n^2) per event.
+#: Largest variable count for which the ``"loop"`` reference encoder keeps
+#: its historical dense stride-matrix dgemm inside ``_encode_halves``.
+#: (The dgemm is no longer ever the ``"auto"`` pick: the committed ALARM
+#: profile shows the sparse encoder winning already at n=37, so ``"auto"``
+#: resolves to ``"sparse"`` at every size — see ``ENCODERS``.)
 _DENSE_ENCODE_MAX_VARIABLES = 256
 
 #: Batch-encoder names accepted by :class:`StreamingMLEEstimator`.
@@ -107,23 +112,25 @@ class _SparseEncodePlan:
     sequential traffic — no per-variable Python arithmetic, no O(n^2)
     matmul.  Rows hold plain Python ints: the per-row numpy calls then
     carry no array-scalar boxing overhead.
+
+    Built from the network's shared stride plan
+    (:meth:`~repro.bn.network.BayesianNetwork.stride_rows`) — the same
+    rows the forward sampler's CDF tables are laid out by, so encoder
+    and sampler can never disagree about the configuration code.
     """
 
     __slots__ = ("rows",)
 
-    def __init__(self, layouts: list[_VariableLayout]) -> None:
+    def __init__(
+        self,
+        stride_rows: list[tuple[int, int, tuple[tuple[int, int], ...]]],
+        joint_offsets: list[int],
+    ) -> None:
         self.rows: list[tuple[int, int, list[tuple[int, int]]]] = [
-            (
-                int(layout.k_configs),
-                int(layout.joint_offset),
-                [
-                    (int(p), int(s))
-                    for p, s in zip(
-                        layout.parent_positions, layout.parent_strides
-                    )
-                ],
+            (k_configs, joint_offset, list(parents))
+            for (_, k_configs, parents), joint_offset in zip(
+                stride_rows, joint_offsets
             )
-            for layout in layouts
         ]
 
 
@@ -142,11 +149,11 @@ class StreamingMLEEstimator:
     name:
         Display name of the algorithm this estimator realizes.
     encoder:
-        Batch-encoder choice: ``"auto"`` (default — ``"dense"`` up to
-        :data:`_DENSE_ENCODE_MAX_VARIABLES` variables, ``"sparse"``
-        beyond), or an explicit ``"dense"`` / ``"sparse"`` / ``"loop"``.
-        All encoders leave every bank byte-identical; the choice is a
-        pure performance knob (see ``docs/performance.md``).
+        Batch-encoder choice: ``"auto"`` (default — resolves to
+        ``"sparse"``, which the committed benchmarks show winning at
+        every network size), or an explicit ``"dense"`` / ``"sparse"`` /
+        ``"loop"``.  All encoders leave every bank byte-identical; the
+        choice is a pure performance knob (see ``docs/performance.md``).
     """
 
     def __init__(
@@ -160,26 +167,25 @@ class StreamingMLEEstimator:
         self.network = network
         self.name = str(name)
         self._layouts: list[_VariableLayout] = []
+        stride_rows = network.stride_rows()
         joint_cursor = 0
-        for idx, node in enumerate(network.node_names):
-            cpd = network.cpd(node)
-            positions = np.array(
-                [network.variable_index(p) for p in cpd.parent_names],
-                dtype=np.int64,
-            )
-            strides = np.asarray(cpd._strides, dtype=np.int64)
+        for idx, (cardinality, k_configs, parents) in enumerate(stride_rows):
             self._layouts.append(
                 _VariableLayout(
                     index=idx,
-                    cardinality=cpd.cardinality,
-                    parent_positions=positions,
-                    parent_strides=strides,
-                    k_configs=cpd.parent_configurations,
+                    cardinality=cardinality,
+                    parent_positions=np.array(
+                        [p for p, _ in parents], dtype=np.int64
+                    ),
+                    parent_strides=np.array(
+                        [s for _, s in parents], dtype=np.int64
+                    ),
+                    k_configs=k_configs,
                     joint_offset=joint_cursor,
                     parent_offset=-1,  # assigned below
                 )
             )
-            joint_cursor += cpd.cardinality * cpd.parent_configurations
+            joint_cursor += cardinality * k_configs
         self.n_joint_counters = joint_cursor
         parent_cursor = joint_cursor
         for layout in self._layouts:
@@ -201,9 +207,11 @@ class StreamingMLEEstimator:
                 f"unknown encoder {encoder!r}; expected one of {ENCODERS}"
             )
         if encoder == "auto":
-            encoder = (
-                "dense" if n <= _DENSE_ENCODE_MAX_VARIABLES else "sparse"
-            )
+            # The sparse plan wins at every committed profile size (the
+            # ALARM document already shows it beating the dgemm at n=37),
+            # so "auto" never crosses over to "dense" anymore; the dgemm
+            # stays selectable by name.
+            encoder = "sparse"
         self.encoder = encoder
         # Dense (n, n) parent-stride matrix: one dgemm turns a whole batch
         # into parent-configuration codes.  Only worthwhile for small/medium
@@ -225,7 +233,10 @@ class StreamingMLEEstimator:
         else:
             self._stride_matrix = None
         self._sparse_plan = (
-            _SparseEncodePlan(self._layouts) if self.encoder == "sparse"
+            _SparseEncodePlan(
+                stride_rows, [l.joint_offset for l in self._layouts]
+            )
+            if self.encoder == "sparse"
             else None
         )
         # Compact dtype for the sparse encoder's workspace; int32 covers

@@ -23,10 +23,21 @@ chunk by chunk for each batch encoder, reports a
 sample / partition / encode / update wall-clock breakdown, and asserts
 that every encoder leaves the counter bank byte-identical before any
 speedup is reported (see ``docs/performance.md``).
+
+``benchmark_sampler_engines`` times the forward-sampling engines behind
+the ``sample`` stage (the retained comparison-count ``reference`` vs the
+stride-table ``cdf`` fast path) plus the sharded parallel sampler.  The
+engines consume randomness differently, so instead of cross-engine byte
+equality it pins each engine's *own* determinism (``sample`` /
+``sample_into`` / ``sample_stream`` byte-identical for a fixed seed) and
+its statistical identity against the ground-truth CPDs — a per-CPD
+chi-squared goodness-of-fit with a normal-approximation z-score bound —
+before any timing is reported.
 """
 
 from __future__ import annotations
 
+import math
 import time
 
 import numpy as np
@@ -46,12 +57,31 @@ STRATEGIES = ("masked", "argsort", "dense")
 HYZ_ENGINES = ("sequential", "vectorized")
 
 #: Encoders profiled by default: the per-variable-loop reference pipeline
-#: first, then whatever the network size auto-selects (dense dgemm up to
-#: 256 variables, sparse segment-sum beyond).
+#: first, then the auto selection (always the sparse segment-sum path —
+#: the committed ALARM profile showed sparse winning even at n=37).
 INGEST_ENCODERS = ("loop", "auto")
 
 #: The stage names of the fused ingest pipeline, in pipeline order.
 INGEST_STAGES = ("sample", "partition", "encode", "update")
+
+#: Sampler engines timed by default, legacy baseline first.
+SAMPLER_BENCH_ENGINES = ("reference", "cdf")
+
+#: Sharded-sampler modes cross-checked and timed by default.  The
+#: ``"process"`` mode is byte-identical too (the test suite pins it) but
+#: pays spawn startup per run, so it is opt-in here.
+SAMPLER_BENCH_MODES = ("serial", "thread")
+
+#: Bound on the per-CPD chi-squared z-score (Wilson–Hilferty cube-root
+#: normalization, accurate even at the low degrees of freedom of
+#: sparsely observed variables): a correct sampler stays well under it
+#: across hundreds of per-variable statistics, while a misread CDF row
+#: sends the worst statistic orders of magnitude past it.
+CHI2_Z_THRESHOLD = 6.0
+
+#: Parent configurations with fewer samples than this are excluded from
+#: the chi-squared statistic (the usual expected-count validity rule).
+_CHI2_MIN_CONFIG_SAMPLES = 20
 
 
 def benchmark_update_strategies(
@@ -266,6 +296,7 @@ def _profile_ingest_once(
     chunk: int,
     strategy: str,
     seed: int,
+    sampler_engine: str = "auto",
 ):
     """One fused-pipeline ingest with per-stage timing.
 
@@ -277,7 +308,9 @@ def _profile_ingest_once(
     dict, total wall seconds, and the finished estimator.
     """
     source = RandomSource(seed)
-    sampler = ForwardSampler(net, seed=source.generator())
+    sampler = ForwardSampler(
+        net, seed=source.generator(), engine=sampler_engine
+    )
     partitioner = UniformPartitioner(spec.n_sites, seed=source.generator())
     estimator = spec.build(network=net, encoder=encoder)
     estimator.stage_times = {"encode": 0.0, "update": 0.0}
@@ -318,6 +351,7 @@ def benchmark_ingest_stages(
     counter_backend: str = "hyz",
     hyz_engine: str = "vectorized",
     strategy: str = "auto",
+    sampler_engine: str = "auto",
 ) -> dict:
     """Stage-level profile of the fused ingest pipeline per batch encoder.
 
@@ -336,6 +370,11 @@ def benchmark_ingest_stages(
     estimates, message tallies), so a speedup can never come from
     diverging semantics.  With ``repeats > 1`` each encoder's stage
     times are elementwise minima over fresh cold runs.
+
+    ``sampler_engine`` selects the forward-sampling engine feeding the
+    ``sample`` stage (recorded in the document; the engines draw
+    different — statistically identical — streams, so changing it
+    changes the non-timing fields too).
     """
     check_positive_int(repeats, "repeats")
     check_positive_int(chunk, "chunk")
@@ -369,6 +408,7 @@ def benchmark_ingest_stages(
             stages, wall, estimator = _profile_ingest_once(
                 net, spec, enc,
                 n_events=n_events, chunk=chunk, strategy=strategy, seed=seed,
+                sampler_engine=sampler_engine,
             )
             if best_stages is None:
                 best_stages = stages
@@ -434,6 +474,7 @@ def benchmark_ingest_stages(
         "counter_backend": counter_backend,
         "hyz_engine": hyz_engine,
         "strategy": strategy,
+        "sampler_engine": sampler_engine,
         "eps": eps,
         "n_sites": n_sites,
         "n_events": n_events,
@@ -444,3 +485,229 @@ def benchmark_ingest_stages(
         "states_identical": True,
         "results": results,
     }
+
+
+def _max_cpd_chi2_z(net, data: np.ndarray) -> float:
+    """Worst per-CPD chi-squared z-score of ``data`` against the network.
+
+    For every CPD the empirical conditional distribution is tallied per
+    parent configuration (one ``bincount`` over ``config * cardinality +
+    state`` keys), configurations with fewer than
+    ``_CHI2_MIN_CONFIG_SAMPLES`` rows are dropped, and the remaining
+    cells with nonzero probability form one chi-squared statistic whose
+    Wilson–Hilferty z-score is returned at its maximum over variables
+    (the cube-root normalization stays accurate at the 1-2 degrees of
+    freedom of sparsely observed variables, where the plain
+    ``(stat - dof) / sqrt(2 dof)`` approximation is right-skewed enough
+    to trip the bound on noise alone).  Zero-probability states must
+    never be observed at all — that is a hard error, not a large z.
+    """
+    m = len(data)
+    worst = -math.inf
+    for row, cpd in zip(net.stride_rows(), net.cpds()):
+        cardinality, k_configs, parents = row
+        cfg = np.zeros(m, dtype=np.int64)
+        for position, stride in parents:
+            cfg += data[:, position] * stride
+        column = net.variable_index(cpd.variable)
+        cells = np.bincount(
+            cfg * cardinality + data[:, column],
+            minlength=k_configs * cardinality,
+        ).reshape(k_configs, cardinality)
+        config_totals = cells.sum(axis=1)
+        keep = config_totals >= _CHI2_MIN_CONFIG_SAMPLES
+        if not keep.any():
+            continue
+        observed = cells[keep].astype(np.float64)
+        probabilities = cpd.values.T[keep]
+        expected = config_totals[keep, None] * probabilities
+        support = probabilities > 0.0
+        if observed[~support].any():
+            raise AssertionError(
+                f"sampled impossible state(s) of {cpd.variable!r}: "
+                "zero-probability cells have nonzero counts"
+            )
+        stat = float(
+            (((observed - expected) ** 2)[support] / expected[support]).sum()
+        )
+        dof = int(support.sum()) - int(keep.sum())
+        if dof <= 0:
+            continue
+        variance = 2.0 / (9.0 * dof)
+        z = ((stat / dof) ** (1.0 / 3.0) - (1.0 - variance)) / math.sqrt(
+            variance
+        )
+        worst = max(worst, z)
+    return worst
+
+
+def _pin_sampler_determinism(net, engine: str, seed: int, m: int, chunk: int):
+    """Byte-identity pins for one engine; returns the drawn ``(m, n)`` data.
+
+    Four fresh samplers with the same seed must agree byte-for-byte
+    across every drawing surface: ``sample``, ``sample_into``, and
+    ``sample_stream`` with and without buffer reuse (at the same chunk
+    sequence — chunked streams legitimately differ from one-shot draws,
+    so all four use the same chunking here).
+    """
+    def fresh():
+        return ForwardSampler(net, seed=seed, engine=engine)
+
+    streamed = np.concatenate(list(fresh().sample_stream(m, chunk=chunk)))
+    reused = np.concatenate([
+        batch.copy()
+        for batch in fresh().sample_stream(m, chunk=chunk, reuse_buffer=True)
+    ])
+    pieces = []
+    sampler_into = fresh()
+    sampler_oneshot = fresh()
+    storage = np.empty((net.n_variables, chunk), dtype=np.int64)
+    remaining = m
+    while remaining > 0:
+        size = min(chunk, remaining)
+        pieces.append(sampler_into.sample_into(storage[:, :size].T).copy())
+        remaining -= size
+    via_into = np.concatenate(pieces)
+    via_sample = np.concatenate([
+        sampler_oneshot.sample(min(chunk, m - start))
+        for start in range(0, m, chunk)
+    ])
+    for label, other in (
+        ("reuse_buffer", reused), ("sample_into", via_into),
+        ("sample", via_sample),
+    ):
+        if not np.array_equal(streamed, other):
+            raise AssertionError(
+                f"engine {engine!r} is not deterministic: {label} draws "
+                "differ from the streamed reference for the same seed"
+            )
+    return streamed
+
+
+def _time_stream(make_sampler, m: int, chunk: int, repeats: int) -> float:
+    """Cold wall time (min over repeats) to draw one full stream."""
+    best = float("inf")
+    for _ in range(repeats):
+        sampler = make_sampler()
+        t0 = time.perf_counter()
+        for _batch in sampler.sample_stream(m, chunk=chunk, reuse_buffer=True):
+            pass
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def benchmark_sampler_engines(
+    network="link",
+    *,
+    n_events: int = 100_000,
+    chunk: int = 20_000,
+    repeats: int = 3,
+    seed: int = 0,
+    engines=SAMPLER_BENCH_ENGINES,
+    shard_modes=SAMPLER_BENCH_MODES,
+    shards: int = 2,
+) -> dict:
+    """Time each forward-sampling engine over one full stream draw.
+
+    Per engine, *before any timing is reported*: the byte-identity pins
+    of :func:`_pin_sampler_determinism` must hold, and the drawn stream
+    must pass the per-CPD chi-squared goodness-of-fit of
+    :func:`_max_cpd_chi2_z` against the ground-truth network (z below
+    :data:`CHI2_Z_THRESHOLD`) — the statistical-identity half of the
+    engine contract (see ``docs/performance.md``).  The timed quantity
+    is the cold consumption of ``sample_stream(reuse_buffer=True)``,
+    minimum over ``repeats`` — exactly what
+    ``MonitoringSession.ingest_sampler`` pays per chunk.
+
+    With ``shard_modes`` non-empty the sharded parallel sampler is
+    checked the same way (plus byte-identity *across* modes, which its
+    per-chunk child-seed scheme guarantees) and timed per mode under a
+    ``"sharded"`` block.
+    """
+    check_positive_int(repeats, "repeats")
+    check_positive_int(chunk, "chunk")
+    check_positive_int(n_events, "n_events")
+    net = network_by_name(network) if isinstance(network, str) else network
+
+    baseline = tuple(engines)[0]
+    results = []
+    timings: dict[str, float] = {}
+    for engine in engines:
+        data = _pin_sampler_determinism(net, engine, seed, n_events, chunk)
+        z = _max_cpd_chi2_z(net, data)
+        if z >= CHI2_Z_THRESHOLD:
+            raise AssertionError(
+                f"engine {engine!r} failed the chi-squared identity check: "
+                f"max z {z:.2f} >= {CHI2_Z_THRESHOLD}"
+            )
+        timings[engine] = _time_stream(
+            lambda: ForwardSampler(net, seed=seed, engine=engine),
+            n_events, chunk, repeats,
+        )
+        entry = {
+            "engine": engine,
+            "max_chi2_z": z,
+            "wall_seconds": timings[engine],
+            "events_per_second": n_events / timings[engine],
+        }
+        if engine != baseline:
+            entry[f"speedup_vs_{baseline}"] = (
+                timings[baseline] / timings[engine]
+            )
+        results.append(entry)
+
+    document = {
+        "benchmark": "sampler-engines",
+        "baseline_engine": baseline,
+        "network": net.name,
+        "n_variables": net.n_variables,
+        "n_events": n_events,
+        "chunk": chunk,
+        "repeats": repeats,
+        "seed": seed,
+        "chi2_z_threshold": CHI2_Z_THRESHOLD,
+        "draws_deterministic": True,
+        "statistical_identity_checked": True,
+        "results": results,
+    }
+
+    if shard_modes:
+        from repro.exec.sampler import ShardedSampler
+
+        streams = {}
+        sharded_results = []
+        for mode in shard_modes:
+            def fresh(mode=mode):
+                return ShardedSampler(
+                    net, shards=shards, seed=seed, mode=mode
+                )
+            streams[mode] = np.concatenate(
+                list(fresh().sample_stream(n_events, chunk=chunk))
+            )
+            sharded_time = _time_stream(fresh, n_events, chunk, repeats)
+            sharded_results.append({
+                "mode": mode,
+                "wall_seconds": sharded_time,
+                "events_per_second": n_events / sharded_time,
+            })
+        reference_mode = tuple(shard_modes)[0]
+        for mode in tuple(shard_modes)[1:]:
+            if not np.array_equal(streams[reference_mode], streams[mode]):
+                raise AssertionError(
+                    f"sharded mode {mode!r} stream differs from "
+                    f"{reference_mode!r} — the cross-mode contract is broken"
+                )
+        z = _max_cpd_chi2_z(net, streams[reference_mode])
+        if z >= CHI2_Z_THRESHOLD:
+            raise AssertionError(
+                "sharded sampler failed the chi-squared identity check: "
+                f"max z {z:.2f} >= {CHI2_Z_THRESHOLD}"
+            )
+        document["sharded"] = {
+            "engine": ShardedSampler(net, shards=shards, seed=seed).engine,
+            "shards": shards,
+            "modes_identical": True,
+            "max_chi2_z": z,
+            "results": sharded_results,
+        }
+    return document

@@ -19,6 +19,11 @@ One subcommand per figure family of Zhang, Tirthapura & Cormode (ICDE 2018):
 - ``bench-ingest`` — stage-level profile of the fused ingest pipeline
   (sample / partition / encode / update) per batch encoder; produces the
   committed ``benchmarks/BENCH_ingest_*.json`` trajectory.
+- ``bench-sampling`` — microbenchmark of the forward-sampling engines
+  (reference vs stride-table CDF fast path, plus the sharded parallel
+  sampler); produces the committed ``benchmarks/BENCH_sampling_*.json``
+  trajectory.  Determinism and chi-squared statistical-identity checks
+  are asserted before any timing is reported.
 
 Each subcommand prints an aligned summary table to stderr and writes a
 ``BENCH_*.json``-style document to ``--out`` (stdout by default).
@@ -49,11 +54,16 @@ from repro.core.algorithms import ALGORITHMS
 from repro.counters.hyz import ENGINES
 from repro.exec.base import executor_names
 from repro.experiments import figures
+from repro.bn.sampling import SAMPLER_ENGINES
+from repro.exec.sampler import SHARD_MODES
 from repro.experiments.bench import (
     INGEST_ENCODERS,
     INGEST_STAGES,
+    SAMPLER_BENCH_ENGINES,
+    SAMPLER_BENCH_MODES,
     benchmark_hyz_engines,
     benchmark_ingest_stages,
+    benchmark_sampler_engines,
     benchmark_update_strategies,
 )
 from repro.experiments.presets import (
@@ -341,6 +351,12 @@ def main(argv=None) -> int:
                            choices=list(figures.VIEWS))
     p_figures.add_argument("--width", type=int, default=64)
     p_figures.add_argument("--height", type=int, default=16)
+    p_figures.add_argument(
+        "--png", default=None, metavar="PATH",
+        help="render a PNG here instead of ASCII (needs the optional "
+        "matplotlib dependency; falls back to ASCII with a notice "
+        "when it is missing)",
+    )
     p_figures.add_argument("--out", default=None,
                            help="write the rendered text here "
                            "(default: stdout)")
@@ -380,8 +396,38 @@ def main(argv=None) -> int:
                                 choices=["hyz", "deterministic"])
     p_bench_ingest.add_argument("--hyz-engine", default="vectorized",
                                 choices=list(ENGINES))
+    p_bench_ingest.add_argument(
+        "--sampler-engine", default="auto", choices=list(SAMPLER_ENGINES),
+        help="forward-sampling engine feeding the sample stage "
+        "(default: %(default)s)",
+    )
     p_bench_ingest.add_argument("--seed", type=int, default=0)
     p_bench_ingest.add_argument("--out", default=None)
+
+    p_bench_sampling = sub.add_parser(
+        "bench-sampling",
+        help="microbenchmark the forward-sampling engines",
+    )
+    p_bench_sampling.add_argument("--network", default="link")
+    p_bench_sampling.add_argument("--events", type=int, default=100_000)
+    p_bench_sampling.add_argument(
+        "--chunk", type=int, default=20_000,
+        help="events per stream chunk (default: %(default)s)",
+    )
+    p_bench_sampling.add_argument("--repeats", type=int, default=3)
+    p_bench_sampling.add_argument(
+        "--engines", type=_csv, default=list(SAMPLER_BENCH_ENGINES),
+        help="comma-separated engine list, baseline first "
+        "(default: %(default)s)",
+    )
+    p_bench_sampling.add_argument(
+        "--shard-modes", type=_csv, default=list(SAMPLER_BENCH_MODES),
+        help="sharded-sampler modes to cross-check and time "
+        f"(subset of {SHARD_MODES}; empty skips the sharded block)",
+    )
+    p_bench_sampling.add_argument("--shards", type=int, default=2)
+    p_bench_sampling.add_argument("--seed", type=int, default=0)
+    p_bench_sampling.add_argument("--out", default=None)
 
     p_bench_hyz = sub.add_parser(
         "bench-hyz", help="microbenchmark the HYZ span-replay engines"
@@ -520,6 +566,16 @@ def main(argv=None) -> int:
         return 0
     if args.command == "figures":
         document = figures.load_document(args.document)
+        if args.png:
+            if figures.matplotlib_available():
+                figures.render_png(document, args.png, view=args.view)
+                print(f"wrote {args.png}", file=sys.stderr)
+                return 0
+            print(
+                "matplotlib is not installed; falling back to the ASCII "
+                "renderer",
+                file=sys.stderr,
+            )
         text = figures.render(
             document, view=args.view, width=args.width, height=args.height
         )
@@ -568,6 +624,7 @@ def main(argv=None) -> int:
             encoders=args.encoders,
             counter_backend=args.counter_backend,
             hyz_engine=args.hyz_engine,
+            sampler_engine=args.sampler_engine,
         )
         baseline = document["baseline_encoder"]
         rows = []
@@ -591,6 +648,42 @@ def main(argv=None) -> int:
                 title=f"ingest stage profile ({document['network']}, "
                       f"n={document['n_variables']}, m={args.events}, "
                       f"k={args.sites})",
+            ),
+        )
+        return 0
+    if args.command == "bench-sampling":
+        document = benchmark_sampler_engines(
+            args.network,
+            n_events=args.events,
+            chunk=args.chunk,
+            repeats=args.repeats,
+            seed=args.seed,
+            engines=args.engines,
+            shard_modes=args.shard_modes,
+            shards=args.shards,
+        )
+        baseline = document["baseline_engine"]
+        rows = [
+            [r["engine"], r["wall_seconds"] * 1e3,
+             f"{r['events_per_second']:,.0f}", r["max_chi2_z"],
+             r.get(f"speedup_vs_{baseline}", "-")]
+            for r in document["results"]
+        ]
+        rows += [
+            [f"sharded/{r['mode']}", r["wall_seconds"] * 1e3,
+             f"{r['events_per_second']:,.0f}",
+             document["sharded"]["max_chi2_z"], "-"]
+            for r in document.get("sharded", {}).get("results", [])
+        ]
+        _emit(
+            document, args.out,
+            summary=format_table(
+                ["engine", "ms/stream", "events/s", "max-chi2-z",
+                 f"speedup-vs-{baseline}"], rows,
+                title=f"sampler engine microbenchmark "
+                      f"({document['network']}, "
+                      f"n={document['n_variables']}, m={args.events}, "
+                      f"chunk={args.chunk})",
             ),
         )
         return 0

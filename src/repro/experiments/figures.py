@@ -13,6 +13,14 @@ figure families:
   ``nonuniform_messages``; a reference line marks ratio = 1.
 
 ``view="auto"`` picks every view the document supports.
+
+:func:`render` draws ASCII plots (always available); :func:`render_png`
+draws the same views with matplotlib when it is installed.  matplotlib
+is an *optional* dependency: its import is gated behind
+:func:`matplotlib_available`, and :func:`render_png` raises a clear
+:class:`~repro.errors.EvaluationError` instead of crashing with an
+``ImportError`` when it is missing (the CLI falls back to ASCII with a
+notice).
 """
 
 from __future__ import annotations
@@ -73,7 +81,8 @@ def _run_label(row: dict, rows: list[dict]) -> str:
     return label
 
 
-def _messages_plot(document: dict, *, width: int, height: int) -> str:
+def _messages_series(document: dict) -> tuple[dict[str, list], str]:
+    """The per-run ``(events, total_messages)`` series and plot title."""
     rows = _checkpoint_rows(document)
     series: dict[str, list] = {}
     for row in rows:
@@ -88,20 +97,15 @@ def _messages_plot(document: dict, *, width: int, height: int) -> str:
         series[label] = [
             (c["events"], c["total_messages"]) for c in row["checkpoints"]
         ]
-    return format_ascii_plot(
-        series,
-        width=width,
-        height=height,
-        title=f"{document.get('benchmark', 'benchmark')}: "
-              "messages along the stream",
-        x_label="events",
-        y_label="messages",
-        logx=True,
-        logy=True,
+    title = (
+        f"{document.get('benchmark', 'benchmark')}: "
+        "messages along the stream"
     )
+    return series, title
 
 
-def _ratio_plot(document: dict, *, width: int, height: int) -> str:
+def _ratio_series(document: dict) -> tuple[list, str]:
+    """The ``(events, uniform/nonuniform)`` points and plot title."""
     rows = [
         r for r in document.get("results", [])
         if "uniform_messages" in r and "nonuniform_messages" in r
@@ -117,6 +121,25 @@ def _ratio_plot(document: dict, *, width: int, height: int) -> str:
     title = "uniform/nonuniform message ratio (crossover: " + (
         f"m={crossover}" if crossover is not None else "not reached"
     ) + ")"
+    return points, title
+
+
+def _messages_plot(document: dict, *, width: int, height: int) -> str:
+    series, title = _messages_series(document)
+    return format_ascii_plot(
+        series,
+        width=width,
+        height=height,
+        title=title,
+        x_label="events",
+        y_label="messages",
+        logx=True,
+        logy=True,
+    )
+
+
+def _ratio_plot(document: dict, *, width: int, height: int) -> str:
+    points, title = _ratio_series(document)
     return format_ascii_plot(
         {"uniform/nonuniform": points},
         width=width,
@@ -129,14 +152,8 @@ def _ratio_plot(document: dict, *, width: int, height: int) -> str:
     )
 
 
-def render(
-    document: dict,
-    *,
-    view: str = "auto",
-    width: int = 64,
-    height: int = 16,
-) -> str:
-    """Render the requested view(s) of one document as one text block."""
+def _resolve_views(document: dict, view: str) -> list[str]:
+    """The concrete view list ``view`` asks of this document, validated."""
     if view not in VIEWS:
         raise EvaluationError(
             f"unknown view {view!r}; expected one of {VIEWS}"
@@ -148,8 +165,84 @@ def render(
             f"document supports views {supported or ['none']}, "
             f"requested {view!r}"
         )
+    return wanted
+
+
+def render(
+    document: dict,
+    *,
+    view: str = "auto",
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render the requested view(s) of one document as one text block."""
     renderers = {"messages": _messages_plot, "ratio": _ratio_plot}
     return "\n\n".join(
         renderers[name](document, width=width, height=height)
-        for name in wanted
+        for name in _resolve_views(document, view)
     )
+
+
+def matplotlib_available() -> bool:
+    """Whether the optional matplotlib dependency can be imported."""
+    try:
+        import matplotlib  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def _load_pyplot():
+    """Import pyplot on the headless Agg backend, or fail legibly."""
+    try:
+        import matplotlib
+    except ImportError as exc:
+        raise EvaluationError(
+            "PNG rendering needs matplotlib, which is not installed; "
+            "use the ASCII renderer instead (drop --png) or install "
+            "matplotlib"
+        ) from exc
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+    return plt
+
+
+def render_png(
+    document: dict,
+    path,
+    *,
+    view: str = "auto",
+    dpi: int = 100,
+) -> str:
+    """Render the requested view(s) as one PNG file; returns ``path``.
+
+    Stacks one axes per view (the same views :func:`render` draws in
+    ASCII).  Raises :class:`~repro.errors.EvaluationError` when
+    matplotlib is missing — check :func:`matplotlib_available` first to
+    fall back to ASCII instead.
+    """
+    wanted = _resolve_views(document, view)
+    plt = _load_pyplot()
+    fig, axes = plt.subplots(
+        len(wanted), 1, figsize=(8.0, 4.5 * len(wanted)), squeeze=False
+    )
+    for ax, name in zip((row[0] for row in axes), wanted):
+        if name == "messages":
+            series, title = _messages_series(document)
+            for label, points in series.items():
+                ax.plot(*zip(*points), marker="o", label=label)
+            ax.set_yscale("log")
+            ax.set_ylabel("messages")
+            ax.legend(fontsize="small")
+        else:
+            points, title = _ratio_series(document)
+            ax.plot(*zip(*points), marker="o", label="uniform/nonuniform")
+            ax.axhline(1.0, linestyle="--", linewidth=1.0)
+            ax.set_ylabel("ratio")
+        ax.set_xscale("log")
+        ax.set_xlabel("events")
+        ax.set_title(title)
+    fig.tight_layout()
+    fig.savefig(path, dpi=dpi)
+    plt.close(fig)
+    return str(path)

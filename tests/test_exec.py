@@ -15,6 +15,8 @@ The load-bearing guarantees:
 
 import json
 import os
+import sys
+import types
 
 import pytest
 
@@ -30,6 +32,7 @@ from repro.exec import (
     register_executor,
 )
 from repro.experiments import ExperimentRunner, strip_timing
+from repro.experiments import figures
 from repro.experiments.cli import main
 from repro.experiments.presets import long_crossover_experiment
 from repro.utils.tabletext import format_ascii_plot
@@ -375,6 +378,90 @@ class TestFigures:
         assert main(["figures", str(path), "--view", "ratio"]) == 0
         rendered = capsys.readouterr().out
         assert "message ratio" in rendered
+
+    @staticmethod
+    def _ratio_document() -> dict:
+        return {
+            "benchmark": "separation",
+            "crossover_events": 800,
+            "results": [
+                {"n_events": 400, "uniform_messages": 90,
+                 "nonuniform_messages": 120},
+                {"n_events": 800, "uniform_messages": 200,
+                 "nonuniform_messages": 180},
+            ],
+        }
+
+    @staticmethod
+    def _fake_matplotlib(monkeypatch):
+        """Install a minimal matplotlib stand-in that records savefig."""
+        class FakeAxes:
+            def __getattr__(self, name):
+                return lambda *args, **kwargs: None
+
+        class FakeFigure:
+            def tight_layout(self):
+                pass
+
+            def savefig(self, path, dpi=None):
+                with open(path, "wb") as handle:
+                    handle.write(b"\x89PNG-fake")
+
+        pyplot = types.ModuleType("matplotlib.pyplot")
+        pyplot.subplots = lambda rows, cols, figsize, squeeze: (
+            FakeFigure(), [[FakeAxes()] for _ in range(rows)]
+        )
+        pyplot.close = lambda fig: None
+        matplotlib = types.ModuleType("matplotlib")
+        matplotlib.use = lambda backend: None
+        matplotlib.pyplot = pyplot
+        monkeypatch.setitem(sys.modules, "matplotlib", matplotlib)
+        monkeypatch.setitem(sys.modules, "matplotlib.pyplot", pyplot)
+
+    def test_render_png_without_matplotlib(self, tmp_path, monkeypatch):
+        # A None entry makes ``import matplotlib`` raise ImportError even
+        # on hosts that do have it installed.
+        monkeypatch.setitem(sys.modules, "matplotlib", None)
+        assert not figures.matplotlib_available()
+        with pytest.raises(EvaluationError, match="matplotlib"):
+            figures.render_png(
+                self._ratio_document(), tmp_path / "out.png", view="ratio"
+            )
+        assert not (tmp_path / "out.png").exists()
+
+    def test_render_png_with_matplotlib(self, tmp_path, monkeypatch):
+        self._fake_matplotlib(monkeypatch)
+        assert figures.matplotlib_available()
+        out = tmp_path / "out.png"
+        assert figures.render_png(
+            self._ratio_document(), out, view="ratio"
+        ) == str(out)
+        assert out.read_bytes().startswith(b"\x89PNG")
+        # View validation still happens before any matplotlib work.
+        with pytest.raises(EvaluationError):
+            figures.render_png(self._ratio_document(), out, view="messages")
+
+    def test_figures_cli_png_falls_back_to_ascii(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setitem(sys.modules, "matplotlib", None)
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(self._ratio_document()))
+        png = tmp_path / "doc.png"
+        assert main(["figures", str(path), "--png", str(png)]) == 0
+        captured = capsys.readouterr()
+        assert "falling back" in captured.err
+        assert "message ratio" in captured.out
+        assert not png.exists()
+
+    def test_figures_cli_png_writes_file(self, tmp_path, monkeypatch, capsys):
+        self._fake_matplotlib(monkeypatch)
+        path = tmp_path / "doc.json"
+        path.write_text(json.dumps(self._ratio_document()))
+        png = tmp_path / "doc.png"
+        assert main(["figures", str(path), "--png", str(png)]) == 0
+        assert png.exists()
+        assert str(png) in capsys.readouterr().err
 
 
 class TestCLIExecutors:

@@ -128,8 +128,13 @@ def test_encoder_matrix_byte_identical_banks(
 
 
 def test_auto_encoder_selection(alarm_net, link_net):
+    # Regression for the auto-crossover bug: the committed ALARM profile
+    # (benchmarks/BENCH_ingest_alarm.json, n=37) shows the sparse encoder
+    # beating the dense dgemm at small n too, so "auto" must resolve to
+    # "sparse" at every size; "dense" stays selectable by name only.
     spec = EstimatorSpec(alarm_net, "exact", n_sites=3)
-    assert spec.build(network=alarm_net).encoder == "dense"
+    assert spec.build(network=alarm_net).encoder == "sparse"
+    assert spec.build(network=alarm_net, encoder="dense").encoder == "dense"
     spec_large = EstimatorSpec(link_net, "exact", n_sites=3)
     assert spec_large.build(network=link_net).encoder == "sparse"
     with pytest.raises(StreamError):

@@ -1,0 +1,277 @@
+"""Tests for the sampler fast path: engines, sharding, and snapshots.
+
+The engine contract (the PR-2 precedent, applied to sampling):
+
+- **per-engine determinism** — for a fixed ``(engine, seed)`` every
+  drawing surface (``sample``, ``sample_into``, ``sample_stream`` with
+  and without buffer reuse) produces byte-identical draws at the same
+  batch-size sequence;
+- **statistical identity** — every engine's stream passes a per-CPD
+  chi-squared goodness-of-fit against the ground-truth network, so the
+  fast path cannot buy speed with a skewed distribution;
+- **sharded equivalence** — the sharded parallel sampler draws the same
+  stream across ``serial`` / ``thread`` / ``process`` modes and across
+  shard counts (per-chunk child seeds, never worker identity);
+- **snapshots** — both samplers restore mid-stream byte-identically and
+  refuse snapshots from a different engine or sampler kind.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EstimatorSpec, ForwardSampler, MonitoringSession, link_like
+from repro.bn.sampling import SAMPLER_ENGINES, resolve_engine
+from repro.errors import StreamError
+from repro.exec import SHARD_MODES, ShardedSampler
+from repro.experiments.bench import (
+    CHI2_Z_THRESHOLD,
+    _max_cpd_chi2_z,
+    benchmark_sampler_engines,
+)
+
+#: The concrete engines (``"auto"`` resolves to one of these).
+ENGINES = ("reference", "cdf")
+
+
+@pytest.fixture(scope="module")
+def link_net():
+    return link_like()
+
+
+class TestEngineContract:
+    def test_auto_resolves_to_fast_engine(self):
+        assert resolve_engine("auto") == "cdf"
+        assert resolve_engine("reference") == "reference"
+        with pytest.raises(StreamError):
+            resolve_engine("nope")
+        assert set(ENGINES) < set(SAMPLER_ENGINES)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_drawing_surfaces_byte_identical(self, alarm_net, engine):
+        m, chunk = 3_000, 700
+        reference = ForwardSampler(
+            alarm_net, seed=11, engine=engine
+        ).sample(m)
+        assert reference.shape == (m, alarm_net.n_variables)
+
+        storage = np.empty((alarm_net.n_variables, m), dtype=np.int64)
+        into = ForwardSampler(alarm_net, seed=11, engine=engine)
+        assert np.array_equal(into.sample_into(storage.T), reference)
+
+        streamed = np.concatenate(list(
+            ForwardSampler(alarm_net, seed=11, engine=engine)
+            .sample_stream(m, chunk=chunk)
+        ))
+        reused = np.concatenate([
+            batch.copy()
+            for batch in ForwardSampler(alarm_net, seed=11, engine=engine)
+            .sample_stream(m, chunk=chunk, reuse_buffer=True)
+        ])
+        # Chunked streams consume randomness per chunk, so they match
+        # each other exactly but need not match the one-shot draw.
+        assert np.array_equal(streamed, reused)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_statistical_identity_on_alarm(self, alarm_net, engine):
+        data = ForwardSampler(alarm_net, seed=3, engine=engine).sample(40_000)
+        assert _max_cpd_chi2_z(alarm_net, data) < CHI2_Z_THRESHOLD
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_statistical_identity_on_link(self, link_net, engine):
+        # LINK exercises the searchsorted path (cardinalities above the
+        # count-inversion crossover) and deep topological levels.
+        data = ForwardSampler(link_net, seed=4, engine=engine).sample(15_000)
+        assert _max_cpd_chi2_z(link_net, data) < CHI2_Z_THRESHOLD
+
+    def test_engines_agree_on_marginals(self, small_net):
+        m = 60_000
+        reference = ForwardSampler(
+            small_net, seed=5, engine="reference"
+        ).sample(m)
+        fast = ForwardSampler(small_net, seed=6, engine="cdf").sample(m)
+        for column in range(small_net.n_variables):
+            cardinality = small_net.cardinalities()[column]
+            a = np.bincount(reference[:, column], minlength=cardinality) / m
+            b = np.bincount(fast[:, column], minlength=cardinality) / m
+            assert np.abs(a - b).max() < 0.02
+
+    def test_unknown_engine_rejected(self, alarm_net):
+        with pytest.raises(StreamError):
+            ForwardSampler(alarm_net, seed=0, engine="vectorized")
+
+
+class TestSampleEvent:
+    def test_deterministic_and_closed(self, alarm_net):
+        name = alarm_net.node_names[-1]
+        a = ForwardSampler(alarm_net, seed=9)
+        b = ForwardSampler(alarm_net, seed=9)
+        for _ in range(50):
+            event_a = a.sample_event([name])
+            assert event_a == b.sample_event([name])
+            assert name in event_a
+            for node, value in event_a.items():
+                cardinality = alarm_net.variable(node).cardinality
+                assert 0 <= value < cardinality
+
+    def test_engine_independent_stream(self, alarm_net):
+        name = alarm_net.node_names[-1]
+        events = [
+            [ForwardSampler(alarm_net, seed=2, engine=e).sample_event([name])
+             for _ in range(20)]
+            for e in ENGINES
+        ]
+        assert events[0] == events[1]
+
+    def test_empty_nodes_rejected(self, alarm_net):
+        with pytest.raises(StreamError):
+            ForwardSampler(alarm_net, seed=0).sample_event([])
+
+
+class TestForwardSamplerSnapshot:
+    def test_restore_mid_stream(self, alarm_net):
+        sampler = ForwardSampler(alarm_net, seed=21)
+        stream = sampler.sample_stream(4_000, chunk=500)
+        prefix = [next(stream) for _ in range(4)]
+        snapshot = sampler.state_dict()
+        tail = list(stream)
+
+        resumed = ForwardSampler(alarm_net, seed=999)
+        resumed.load_state_dict(snapshot)
+        resumed_tail = list(resumed.sample_stream(2_000, chunk=500))
+        assert len(prefix) == 4
+        for a, b in zip(tail, resumed_tail):
+            assert np.array_equal(a, b)
+
+    def test_engine_mismatch_rejected(self, alarm_net):
+        snapshot = ForwardSampler(
+            alarm_net, seed=1, engine="reference"
+        ).state_dict()
+        fast = ForwardSampler(alarm_net, seed=1, engine="cdf")
+        with pytest.raises(StreamError):
+            fast.load_state_dict(snapshot)
+
+    def test_kind_mismatch_rejected(self, alarm_net):
+        sampler = ForwardSampler(alarm_net, seed=1)
+        sharded = ShardedSampler(alarm_net, shards=2, seed=1, mode="serial")
+        with pytest.raises(StreamError):
+            sampler.load_state_dict(sharded.state_dict())
+        with pytest.raises(StreamError):
+            sharded.load_state_dict(sampler.state_dict())
+
+
+class TestShardedSampler:
+    def test_modes_and_shard_counts_byte_identical(self, alarm_net):
+        m, chunk = 4_000, 600
+        reference = ShardedSampler(
+            alarm_net, shards=1, seed=7, mode="serial"
+        ).sample(m, chunk=chunk)
+        for mode in ("serial", "thread"):
+            for shards in (2, 3):
+                stream = ShardedSampler(
+                    alarm_net, shards=shards, seed=7, mode=mode
+                ).sample(m, chunk=chunk)
+                assert np.array_equal(reference, stream), (mode, shards)
+
+    def test_process_mode_byte_identical(self, alarm_net):
+        m, chunk = 1_200, 400
+        reference = ShardedSampler(
+            alarm_net, shards=2, seed=7, mode="serial"
+        ).sample(m, chunk=chunk)
+        stream = ShardedSampler(
+            alarm_net, shards=2, seed=7, mode="process"
+        ).sample(m, chunk=chunk)
+        assert np.array_equal(reference, stream)
+
+    def test_statistical_identity(self, alarm_net):
+        data = ShardedSampler(
+            alarm_net, shards=2, seed=8, mode="thread"
+        ).sample(40_000, chunk=10_000)
+        assert _max_cpd_chi2_z(alarm_net, data) < CHI2_Z_THRESHOLD
+
+    def test_cursor_snapshot_resumes(self, alarm_net):
+        sampler = ShardedSampler(alarm_net, shards=2, seed=9, mode="serial")
+        stream = sampler.sample_stream(3_000, chunk=500)
+        for _ in range(3):
+            next(stream)
+        snapshot = sampler.state_dict()
+        tail = np.concatenate(list(stream))
+
+        resumed = ShardedSampler(alarm_net, shards=3, seed=0, mode="thread")
+        resumed.load_state_dict(snapshot)
+        resumed_tail = resumed.sample(1_500, chunk=500)
+        assert np.array_equal(tail, resumed_tail)
+
+    def test_validation(self, alarm_net):
+        with pytest.raises(StreamError):
+            ShardedSampler(alarm_net, mode="fork")
+        with pytest.raises(StreamError):
+            ShardedSampler(alarm_net, seed=np.random.default_rng(0))
+        with pytest.raises(StreamError):
+            ShardedSampler(alarm_net, seed=1, engine="nope")
+        assert SHARD_MODES == ("serial", "thread", "process")
+
+
+class TestSessionIntegration:
+    def test_session_sampler_feeds_ingest(self, alarm_net):
+        def session():
+            spec = EstimatorSpec(
+                network=alarm_net, algorithm="exact", eps=0.3, n_sites=4,
+                seed=13,
+            )
+            return MonitoringSession(spec, network=alarm_net)
+
+        direct = session()
+        direct.ingest_sampler(
+            ForwardSampler(alarm_net, seed=5), 2_000, chunk=500
+        )
+        via_api = session()
+        via_api.ingest_sampler(via_api.sampler(seed=5), 2_000, chunk=500)
+        assert direct.total_messages == via_api.total_messages
+        assert np.array_equal(
+            direct.estimator.bank._local, via_api.estimator.bank._local
+        )
+
+    def test_session_sampler_sharded(self, alarm_net):
+        spec = EstimatorSpec(
+            network=alarm_net, algorithm="exact", eps=0.3, n_sites=4,
+            seed=13,
+        )
+        serial = MonitoringSession(spec, network=alarm_net)
+        serial.ingest_sampler(
+            serial.sampler(seed=5, mode="serial", shards=2),
+            2_000, chunk=500,
+        )
+        threaded = MonitoringSession(spec, network=alarm_net)
+        threaded.ingest_sampler(
+            threaded.sampler(seed=5, mode="thread", shards=2),
+            2_000, chunk=500,
+        )
+        assert serial.total_messages == threaded.total_messages
+        assert np.array_equal(
+            serial.estimator.bank._local, threaded.estimator.bank._local
+        )
+
+
+class TestSamplerBenchmark:
+    def test_document_shape_and_checks(self, alarm_net):
+        document = benchmark_sampler_engines(
+            alarm_net, n_events=6_000, chunk=2_000, repeats=1, shards=2,
+        )
+        assert document["benchmark"] == "sampler-engines"
+        assert document["draws_deterministic"] is True
+        engines = [r["engine"] for r in document["results"]]
+        assert engines == ["reference", "cdf"]
+        assert all(
+            r["max_chi2_z"] < CHI2_Z_THRESHOLD for r in document["results"]
+        )
+        assert "speedup_vs_reference" in document["results"][1]
+        sharded = document["sharded"]
+        assert sharded["modes_identical"] is True
+        assert [r["mode"] for r in sharded["results"]] == ["serial", "thread"]
+
+    def test_sharded_block_optional(self, small_net):
+        document = benchmark_sampler_engines(
+            small_net, n_events=2_000, chunk=1_000, repeats=1,
+            shard_modes=(),
+        )
+        assert "sharded" not in document
