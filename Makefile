@@ -1,8 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke bench bench-hyz bench-ingest bench-sampling \
-	bench-smoke bench-baselines docs-check check
+.PHONY: test smoke smoke-dist bench bench-hyz bench-dist bench-ingest \
+	bench-sampling bench-smoke bench-baselines docs-check check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -58,11 +58,38 @@ smoke:
 	$(PYTHON) -m repro.experiments bench-hyz --events 2000 --sites 6 \
 	    --repeats 1 --out /tmp/repro_smoke_bench_hyz.json
 
+# The distributed runtime's conformance contract, end to end on the CLI:
+# a --runtime distributed grid must match the in-process reference, and
+# the tiny bench-dist document (which asserts channel==distributed and
+# runs one kill/recover cycle internally) must match the committed
+# baseline with timing stripped.
+smoke-dist:
+	$(PYTHON) -m repro.experiments messages --network alarm \
+	    --algorithms exact,nonuniform --events 1000 --sites 5 \
+	    --eval-events 200 --checkpoints 2 \
+	    --out /tmp/repro_smoke_dist_ref.json
+	$(PYTHON) -m repro.experiments messages --network alarm \
+	    --algorithms exact,nonuniform --events 1000 --sites 5 \
+	    --eval-events 200 --checkpoints 2 \
+	    --runtime distributed --sites-procs 2 \
+	    --out /tmp/repro_smoke_dist.json
+	$(PYTHON) tools/compare_bench.py /tmp/repro_smoke_dist.json \
+	    /tmp/repro_smoke_dist_ref.json
+	$(PYTHON) -m repro.experiments bench-dist --network alarm \
+	    --algorithm nonuniform --eps 0.2 --site-values 4 --sites-procs 2 \
+	    --events 1200 --chunk 300 --fault-events 600 \
+	    --out /tmp/repro_smoke_dist_bench.json
+	$(PYTHON) tools/compare_bench.py /tmp/repro_smoke_dist_bench.json \
+	    benchmarks/BENCH_dist_smoke.json
+
 bench:
 	$(PYTHON) -m repro.experiments bench --sites 30 --events 20000
 
 bench-hyz:
 	$(PYTHON) -m repro.experiments bench-hyz --sites 30 --events 20000
+
+bench-dist:
+	$(PYTHON) -m repro.experiments bench-dist --network alarm
 
 bench-ingest:
 	$(PYTHON) -m repro.experiments bench-ingest --network link \
@@ -108,6 +135,12 @@ bench-baselines:
 	$(PYTHON) -m repro.experiments bench-sampling --network link \
 	    --events 2000 --chunk 1000 --repeats 1 \
 	    --out benchmarks/BENCH_sampling_smoke.json
+	$(PYTHON) -m repro.experiments bench-dist --network alarm \
+	    --out benchmarks/BENCH_dist_alarm.json
+	$(PYTHON) -m repro.experiments bench-dist --network alarm \
+	    --algorithm nonuniform --eps 0.2 --site-values 4 --sites-procs 2 \
+	    --events 1200 --chunk 300 --fault-events 600 \
+	    --out benchmarks/BENCH_dist_smoke.json
 
 # Tiny ingest + sampling benchmarks whose non-timing fields must match
 # the committed baselines byte-for-byte (the encoder and sampler-engine
@@ -127,4 +160,4 @@ bench-smoke:
 docs-check:
 	$(PYTHON) tools/check_docs.py
 
-check: test smoke bench-smoke docs-check
+check: test smoke smoke-dist bench-smoke docs-check

@@ -197,11 +197,23 @@ class MonitoringSession:
         :class:`~repro.exec.ShardedSampler` drawing chunk-parallel over
         ``shards`` workers.  Either way the result plugs straight into
         ``session.ingest_sampler(session.sampler(seed=0), m)``.
+
+        ``mode="auto"`` picks the execution itself from the machine:
+        single-core hosts stay serial (sharding overhead buys nothing),
+        multi-core hosts use thread shards, and ``shards`` defaults to
+        ``os.cpu_count()`` either way.  The draw layout depends only on
+        the shard *count*, never on the mode, so auto mode yields the
+        same bytes as any explicit choice with the same count.
         """
         if mode is None:
             return ForwardSampler(self.network, seed=seed, engine=engine)
         from repro.exec.sampler import ShardedSampler
 
+        if mode == "auto":
+            cores = os.cpu_count() or 1
+            if shards is None:
+                shards = cores
+            mode = "serial" if cores == 1 else "thread"
         return ShardedSampler(
             self.network, shards=shards, seed=seed, mode=mode, engine=engine
         )

@@ -55,12 +55,9 @@ def _segment_worker(payload: dict) -> None:
     """
     marker = payload.get("fault_marker")
     if marker is not None:
-        try:
-            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-        except FileExistsError:
-            pass
-        else:
-            os.close(fd)
+        from repro.dist.transport import create_once
+
+        if create_once(marker):
             os._exit(23)  # abrupt death: no cleanup, no exception
     task = RunTask.from_dict(payload["task"])
     run = task.execute(

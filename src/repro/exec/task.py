@@ -75,6 +75,13 @@ class RunTask:
     eval_events: int = 2_000
     chunk_size: int = 10_000
     update_strategy: str = "auto"
+    #: Session runtime: "inprocess" (the reference channel) or
+    #: "distributed" (real site worker processes; conformant by the
+    #: contract in docs/distributed.md, so the choice is operational and
+    #: — like the executor choice — serialized only when non-default.
+    runtime: str = "inprocess"
+    #: Worker process count for the distributed runtime (None = auto).
+    sites_procs: "int | None" = None
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -114,6 +121,19 @@ class RunTask:
             object.__setattr__(self, field, value)
         object.__setattr__(self, "seed", int(self.seed))
         object.__setattr__(self, "update_strategy", str(self.update_strategy))
+        object.__setattr__(self, "runtime", str(self.runtime).strip().lower())
+        if self.runtime not in ("inprocess", "distributed"):
+            raise ExecutionError(
+                f"unknown runtime {self.runtime!r}; expected 'inprocess' "
+                "or 'distributed'"
+            )
+        if self.sites_procs is not None:
+            procs = int(self.sites_procs)
+            if procs <= 0:
+                raise ExecutionError(
+                    f"sites_procs must be positive, got {procs}"
+                )
+            object.__setattr__(self, "sites_procs", procs)
         schedule = tuple(int(c) for c in self.checkpoints)
         if not schedule or list(schedule) != sorted(set(schedule)):
             raise ExecutionError(
@@ -167,7 +187,7 @@ class RunTask:
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-ready representation (hashable, shippable to workers)."""
-        return {
+        payload = {
             "schema": TASK_SCHEMA,
             "network": self.network,
             "algorithm": self.algorithm,
@@ -184,6 +204,14 @@ class RunTask:
             "chunk_size": self.chunk_size,
             "update_strategy": self.update_strategy,
         }
+        # The runtime is conformant with the in-process reference, so
+        # default-runtime descriptors serialize exactly as before this
+        # field existed — existing resume caches keep their keys.
+        if self.runtime != "inprocess":
+            payload["runtime"] = self.runtime
+        if self.sites_procs is not None:
+            payload["sites_procs"] = self.sites_procs
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "RunTask":
@@ -206,6 +234,8 @@ class RunTask:
             eval_events=payload.get("eval_events", 2_000),
             chunk_size=payload.get("chunk_size", 10_000),
             update_strategy=payload.get("update_strategy", "auto"),
+            runtime=payload.get("runtime", "inprocess"),
+            sites_procs=payload.get("sites_procs"),
         )
 
     # ------------------------------------------------------------------
@@ -243,4 +273,6 @@ class RunTask:
             spec_network=self.network if isinstance(self.network, str) else None,
             snapshot_path=snapshot_path,
             stop_after=stop_after,
+            runtime=self.runtime,
+            sites_procs=self.sites_procs,
         )

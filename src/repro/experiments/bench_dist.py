@@ -1,0 +1,217 @@
+"""``bench-dist``: measured throughput/latency of the distributed runtime.
+
+The cluster-runtime figures of the paper (Figs. 7-8) were previously
+produced only by the analytic
+:class:`~repro.monitoring.cluster.ClusterCostModel`; this benchmark runs
+the real multiprocess runtime (:class:`~repro.dist.DistributedSession`)
+over the same seeded streams and reports *measured* numbers next to the
+modeled ones.
+
+Like ``bench-sampling``, correctness gates timing: for every site count
+the distributed run must reproduce the in-process reference session's
+metrics (message counts, per-site tallies, estimates) exactly — and,
+when ``fault_check`` is on, again after a worker is killed mid-stream
+and respawned — before any timing is reported.  All wall-clock-derived
+fields use the canonical timing keys
+(:func:`~repro.experiments.results.strip_timing`), so committed
+``benchmarks/BENCH_dist_*.json`` documents compare stably across hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import numpy as np
+
+from repro.api.session import MonitoringSession
+from repro.api.spec import EstimatorSpec
+from repro.bn.repository import network_by_name
+from repro.bn.sampling import ForwardSampler
+from repro.dist import DistributedSession
+from repro.monitoring.cluster import ClusterCostModel
+from repro.utils.rng import RandomSource
+from repro.utils.validation import check_positive_int
+
+
+def _stream(net, n_events: int, chunk: int, seed: int):
+    """The benchmark stream: identical batches for every session under test."""
+    sampler = ForwardSampler(net, seed=RandomSource(seed).generator())
+    batches = []
+    produced = 0
+    while produced < n_events:
+        size = min(chunk, n_events - produced)
+        batches.append(sampler.sample(size))
+        produced += size
+    return batches
+
+
+def _feed(session, batches) -> float:
+    t0 = time.perf_counter()
+    for batch in batches:
+        session.ingest(batch, validate=False)
+    return time.perf_counter() - t0
+
+
+def _conformance(ref: MonitoringSession, dist: DistributedSession) -> None:
+    if ref.metrics() != dist.metrics():
+        raise AssertionError(
+            "distributed runtime diverged from the in-process reference: "
+            f"{dist.metrics()} != {ref.metrics()}"
+        )
+    if not np.array_equal(ref.estimates(), dist.estimates()):
+        raise AssertionError(
+            "distributed runtime produced different estimates than the "
+            "in-process reference"
+        )
+
+
+def benchmark_distributed_runtime(
+    network="alarm",
+    *,
+    algorithm: str = "nonuniform",
+    eps: float = 0.1,
+    site_counts=(4, 8, 16),
+    procs: int | None = None,
+    n_events: int = 20_000,
+    chunk: int = 2_000,
+    counter_backend: str = "hyz",
+    seed: int = 0,
+    fault_check: bool = True,
+    fault_events: int = 2_000,
+) -> dict:
+    """Measure the distributed runtime against the in-process reference.
+
+    For each ``k`` in ``site_counts`` the same seeded stream is fed to an
+    in-process :class:`MonitoringSession` and a
+    :class:`~repro.dist.DistributedSession` (``procs`` worker processes;
+    default ``os.cpu_count()``); conformance is asserted, then the entry
+    reports measured ingest throughput, protocol messages per second,
+    mean coordinator round latency, the wire-frame tallies, and the
+    :class:`ClusterCostModel`'s modeled runtime for the same message
+    count — the measured-vs-model comparison the paper's Figs. 7-8
+    invite.
+
+    ``fault_check`` additionally runs a short stream during which one
+    worker is killed (die-once marker) and respawned, asserting the
+    conformance contract survives the fault; its result is part of the
+    document (``fault_recovery``) but never timed.
+    """
+    check_positive_int(n_events, "n_events")
+    check_positive_int(chunk, "chunk")
+    net = network_by_name(network) if isinstance(network, str) else network
+    if procs is None:
+        procs = os.cpu_count() or 1
+    batches = _stream(net, n_events, chunk, seed)
+    cost_model = ClusterCostModel()
+
+    results = []
+    for k in site_counts:
+        k = int(k)
+        spec = EstimatorSpec(
+            network=net, algorithm=algorithm, eps=eps, n_sites=k,
+            seed=seed + 1, counter_backend=counter_backend,
+        )
+        ref = MonitoringSession(spec)
+        ref_wall = _feed(ref, batches)
+        with DistributedSession(spec, procs=procs) as dist:
+            dist_wall = _feed(dist, batches)
+            dist.flush()
+            _conformance(ref, dist)
+            wire = dist.wire_stats()
+        log = ref.message_log
+        total_messages = ref.total_messages
+        summary = cost_model.summarize(
+            n_events, net.n_variables, total_messages, k,
+            max_site_messages=int(log.site_messages.max()),
+        )
+        rounds = max(1, wire["rounds_applied"])
+        results.append({
+            "n_sites": k,
+            "procs": min(procs, k),
+            "total_messages": total_messages,
+            "max_site_messages": int(log.site_messages.max()),
+            "conformant": True,
+            "wall_seconds": dist_wall,
+            "events_per_second": n_events / dist_wall,
+            "msgs_per_second": total_messages / dist_wall,
+            "round_latency_ms": (
+                wire["round_latency_seconds"] / rounds * 1e3
+            ),
+            "speedup_vs_inprocess": ref_wall / dist_wall,
+            "reference": {
+                "wall_seconds": ref_wall,
+                "events_per_second": n_events / ref_wall,
+            },
+            "wire": {
+                "batch_frames_sent": wire["batch_frames_sent"],
+                "report_frames_received": wire["report_frames_received"],
+                "threshold_frames_sent": wire["threshold_frames_sent"],
+                "sync_frames_received": wire["sync_frames_received"],
+                "rounds_applied": wire["rounds_applied"],
+                "worker_respawns": wire["worker_respawns"],
+            },
+            "model": {
+                "modeled_runtime_seconds": summary.runtime_seconds,
+                "modeled_throughput_events_per_second":
+                    summary.throughput_events_per_second,
+                "modeled_site_busy_seconds": summary.site_busy_seconds,
+                "modeled_coordinator_busy_seconds":
+                    summary.coordinator_busy_seconds,
+                # Measured wall over modeled runtime: >1 means the real
+                # runtime is slower than the model's cluster.
+                "speedup_vs_model": dist_wall / summary.runtime_seconds,
+            },
+        })
+
+    document = {
+        "benchmark": "distributed-runtime",
+        "network": net.name,
+        "n_variables": net.n_variables,
+        "algorithm": algorithm,
+        "eps": eps,
+        "counter_backend": counter_backend,
+        "n_events": n_events,
+        "chunk": chunk,
+        "procs": procs,
+        "seed": seed,
+        "site_counts": [int(k) for k in site_counts],
+        "results": results,
+    }
+
+    if fault_check:
+        check_positive_int(fault_events, "fault_events")
+        k = int(site_counts[0])
+        spec = EstimatorSpec(
+            network=net, algorithm=algorithm, eps=eps, n_sites=k,
+            seed=seed + 1, counter_backend=counter_backend,
+        )
+        fault_batches = _stream(net, fault_events, max(1, chunk // 4), seed)
+        ref = MonitoringSession(spec)
+        _feed(ref, fault_batches)
+        with tempfile.TemporaryDirectory() as tmp:
+            with DistributedSession(
+                spec, procs=min(procs, k),
+                worker_faults={0: {
+                    "kill_after_sends": 1,
+                    "once_marker": os.path.join(tmp, "die-once"),
+                }},
+            ) as dist:
+                _feed(dist, fault_batches)
+                dist.flush()
+                _conformance(ref, dist)
+                wire = dist.wire_stats()
+        if wire["worker_respawns"] < 1:
+            raise AssertionError(
+                "fault check never killed a worker; the kill/recover "
+                "cycle was not exercised"
+            )
+        document["fault_recovery"] = {
+            "n_sites": k,
+            "n_events": fault_events,
+            "worker_respawns": wire["worker_respawns"],
+            "conformant": True,
+        }
+
+    return document

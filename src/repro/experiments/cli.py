@@ -24,6 +24,11 @@ One subcommand per figure family of Zhang, Tirthapura & Cormode (ICDE 2018):
   sampler); produces the committed ``benchmarks/BENCH_sampling_*.json``
   trajectory.  Determinism and chi-squared statistical-identity checks
   are asserted before any timing is reported.
+- ``bench-dist`` — measured throughput/latency of the real multiprocess
+  runtime (``--runtime distributed``) against the in-process reference
+  and the analytic ``ClusterCostModel``; conformance (and one
+  kill/recover cycle) is asserted before timing.  Produces the committed
+  ``benchmarks/BENCH_dist_*.json`` trajectory.
 
 Each subcommand prints an aligned summary table to stderr and writes a
 ``BENCH_*.json``-style document to ``--out`` (stdout by default).
@@ -66,6 +71,7 @@ from repro.experiments.bench import (
     benchmark_sampler_engines,
     benchmark_update_strategies,
 )
+from repro.experiments.bench_dist import benchmark_distributed_runtime
 from repro.experiments.presets import (
     classification_experiment,
     long_crossover_experiment,
@@ -119,6 +125,18 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--eval-events", type=int, default=2_000,
                         help="held-out accuracy sample size")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--runtime", default="inprocess",
+        choices=["inprocess", "distributed"],
+        help="session runtime (default: %(default)s); 'distributed' runs "
+        "real site worker processes and produces identical results "
+        "(see docs/distributed.md)",
+    )
+    parser.add_argument(
+        "--sites-procs", type=int, default=None,
+        help="worker processes for --runtime distributed "
+        "(default: one per CPU core, capped at k)",
+    )
     parser.add_argument(
         "--executor", default="serial", choices=executor_names(),
         help="task-graph driver (default: %(default)s); all executors "
@@ -201,6 +219,8 @@ def _grid_command(args, *, name, eps_values=None, site_counts=None) -> int:
         zipf_exponent=args.zipf_exponent,
         counter_backend=args.counter_backend,
         hyz_engine=args.hyz_engine,
+        runtime=args.runtime,
+        sites_procs=args.sites_procs,
         resume_dir=args.resume_dir,
         stop_after=args.stop_after,
         executor=args.executor,
@@ -428,6 +448,40 @@ def main(argv=None) -> int:
     p_bench_sampling.add_argument("--shards", type=int, default=2)
     p_bench_sampling.add_argument("--seed", type=int, default=0)
     p_bench_sampling.add_argument("--out", default=None)
+
+    p_bench_dist = sub.add_parser(
+        "bench-dist",
+        help="measured throughput/latency of the distributed runtime "
+        "vs the in-process reference and the ClusterCostModel",
+    )
+    p_bench_dist.add_argument("--network", default="alarm")
+    p_bench_dist.add_argument("--algorithm", default="nonuniform")
+    p_bench_dist.add_argument("--eps", type=float, default=0.1)
+    p_bench_dist.add_argument(
+        "--site-values", type=_csv_ints, default=[4, 8, 16],
+        help="comma-separated site-count sweep (default: %(default)s)",
+    )
+    p_bench_dist.add_argument(
+        "--sites-procs", type=int, default=None,
+        help="worker processes (default: one per CPU core, capped at k)",
+    )
+    p_bench_dist.add_argument("--events", type=int, default=20_000)
+    p_bench_dist.add_argument(
+        "--chunk", type=int, default=2_000,
+        help="events per coordinator round (default: %(default)s)",
+    )
+    p_bench_dist.add_argument("--counter-backend", default="hyz",
+                              choices=["hyz", "deterministic"])
+    p_bench_dist.add_argument("--seed", type=int, default=0)
+    p_bench_dist.add_argument(
+        "--no-fault-check", action="store_true",
+        help="skip the kill/recover conformance cycle",
+    )
+    p_bench_dist.add_argument(
+        "--fault-events", type=int, default=2_000,
+        help="stream length of the kill/recover cycle (default: %(default)s)",
+    )
+    p_bench_dist.add_argument("--out", default=None)
 
     p_bench_hyz = sub.add_parser(
         "bench-hyz", help="microbenchmark the HYZ span-replay engines"
@@ -684,6 +738,46 @@ def main(argv=None) -> int:
                       f"({document['network']}, "
                       f"n={document['n_variables']}, m={args.events}, "
                       f"chunk={args.chunk})",
+            ),
+        )
+        return 0
+    if args.command == "bench-dist":
+        document = benchmark_distributed_runtime(
+            args.network,
+            algorithm=args.algorithm,
+            eps=args.eps,
+            site_counts=args.site_values,
+            procs=args.sites_procs,
+            n_events=args.events,
+            chunk=args.chunk,
+            counter_backend=args.counter_backend,
+            seed=args.seed,
+            fault_check=not args.no_fault_check,
+            fault_events=args.fault_events,
+        )
+        rows = [
+            [r["n_sites"], r["procs"], r["total_messages"],
+             f"{r['events_per_second']:,.0f}",
+             f"{r['msgs_per_second']:,.0f}",
+             r["round_latency_ms"],
+             r["model"]["modeled_runtime_seconds"],
+             r["wall_seconds"],
+             r["model"]["speedup_vs_model"]]
+            for r in document["results"]
+        ]
+        fault = document.get("fault_recovery")
+        fault_note = (
+            f", kill/recover ok (respawns={fault['worker_respawns']})"
+            if fault else ""
+        )
+        _emit(
+            document, args.out,
+            summary=format_table(
+                ["k", "procs", "messages", "events/s", "msgs/s",
+                 "round-ms", "model-sec", "measured-sec", "meas/model"],
+                rows,
+                title=f"distributed runtime ({document['network']}, "
+                      f"m={args.events}, conformant=yes{fault_note})",
             ),
         )
         return 0

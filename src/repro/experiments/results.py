@@ -29,6 +29,10 @@ _TIMING_KEYS = frozenset({
     "ingest_events_per_second",
     "ms_per_batch",
     "ms_per_ingest",
+    # Distributed-runtime timing (bench-dist): protocol messages per
+    # wall-clock second and mean coordinator round-trip latency.
+    "msgs_per_second",
+    "round_latency_ms",
 })
 
 

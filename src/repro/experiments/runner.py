@@ -154,6 +154,17 @@ class ExperimentRunner:
         return payload
 
     @staticmethod
+    def _close_session(session) -> None:
+        """Stop a session's worker processes, if it has any.
+
+        The inner (already-flushed) state stays readable after close, so
+        result assembly can keep querying the session object.
+        """
+        close = getattr(session, "close", None)
+        if close is not None:
+            close()
+
+    @staticmethod
     def _remove_bundle(path) -> None:
         bundle = Path(path)
         if not bundle.is_dir():
@@ -190,6 +201,8 @@ class ExperimentRunner:
         snapshot_path=None,
         stop_after: int | None = None,
         keep_snapshot: bool = False,
+        runtime: str = "inprocess",
+        sites_procs: int | None = None,
     ) -> RunResult | None:
         """Train one session over one simulated stream.
 
@@ -210,7 +223,19 @@ class ExperimentRunner:
         beyond that many events — the snapshot stays on disk and the call
         returns ``None`` (a partial run), which is how the CLI simulates
         interruption for smoke-testing resume.
+
+        ``runtime="distributed"`` runs the session as a
+        :class:`~repro.dist.DistributedSession` over ``sites_procs``
+        worker processes.  The runtime is conformant with the in-process
+        reference (same message counts, same estimates — see
+        ``docs/distributed.md``), so results are byte-identical; the
+        knob is operational, like the executor choice.
         """
+        if runtime not in ("inprocess", "distributed"):
+            raise EvaluationError(
+                f"unknown runtime {runtime!r}; expected 'inprocess' or "
+                "'distributed'"
+            )
         if stop_after is not None and snapshot_path is None:
             raise EvaluationError(
                 "stop_after without snapshot_path would discard the "
@@ -251,11 +276,22 @@ class ExperimentRunner:
             "seed": run_seed,
         }
 
+        if runtime == "distributed":
+            from repro.dist import DistributedSession
+
+            session_cls = DistributedSession
+            session_kwargs = {"procs": sites_procs}
+        else:
+            session_cls = MonitoringSession
+            session_kwargs = {}
+
         resume_state = None
         if snapshot_path is not None and (
             Path(snapshot_path) / "meta.json"
         ).is_file():
-            session = MonitoringSession.restore(snapshot_path, network=net)
+            session = session_cls.restore(
+                snapshot_path, network=net, **session_kwargs
+            )
             extra = session.restored_extra or {}
             resume_state = extra.get("runner")
             if resume_state is None:
@@ -276,7 +312,7 @@ class ExperimentRunner:
                     f"{spec.algorithm!r}, eps={spec.eps}"
                 )
         else:
-            session = MonitoringSession(spec, network=net)
+            session = session_cls(spec, network=net, **session_kwargs)
 
         eval_sampler = ForwardSampler(net, seed=source.generator())
         eval_data = eval_sampler.sample(self.eval_events)
@@ -348,9 +384,11 @@ class ExperimentRunner:
                 and produced >= stop_after
                 and produced < n_events
             ):
+                self._close_session(session)
                 return None
 
         log = session.message_log
+        self._close_session(session)
         summary = self.cost_model.summarize(
             n_events,
             net.n_variables,
@@ -396,6 +434,8 @@ class ExperimentRunner:
         zipf_exponent: float = 1.0,
         counter_backend: str = "hyz",
         hyz_engine: str = "vectorized",
+        runtime: str = "inprocess",
+        sites_procs: int | None = None,
     ) -> list[RunTask]:
         """Expand the cartesian grid into a task graph.
 
@@ -441,6 +481,8 @@ class ExperimentRunner:
                                 eval_events=self.eval_events,
                                 chunk_size=self.chunk_size,
                                 update_strategy=self.update_strategy,
+                                runtime=runtime,
+                                sites_procs=sites_procs,
                             )
                         )
         return tasks
@@ -459,6 +501,8 @@ class ExperimentRunner:
         zipf_exponent: float = 1.0,
         counter_backend: str = "hyz",
         hyz_engine: str = "vectorized",
+        runtime: str = "inprocess",
+        sites_procs: int | None = None,
         resume_dir=None,
         stop_after: int | None = None,
         executor="serial",
@@ -499,6 +543,8 @@ class ExperimentRunner:
             zipf_exponent=zipf_exponent,
             counter_backend=counter_backend,
             hyz_engine=hyz_engine,
+            runtime=runtime,
+            sites_procs=sites_procs,
         )
         outcome = make_executor(
             executor, jobs=jobs, segment_events=segment_events

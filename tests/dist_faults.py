@@ -1,0 +1,83 @@
+"""Shared fault-injection helpers for the distributed and executor suites.
+
+The runtime's transports accept *declarative* fault specs — plain dicts,
+so they pickle into spawn-started workers unchanged (see
+``repro.dist.transport``).  These helpers build the specs, and
+:class:`DieOnceMarker` manages the marker file behind the
+die-once-then-recover pattern both the dist suite and ``test_exec.py``'s
+chunked worker-death tests rely on.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.dist.transport import FAULT_EXIT_CODE, create_once
+
+__all__ = [
+    "FAULT_EXIT_CODE",
+    "DieOnceMarker",
+    "kill_after",
+    "delay_send",
+    "delay_recv",
+    "merge",
+]
+
+
+class DieOnceMarker:
+    """A marker file arming exactly one injected death.
+
+    The first worker to create the marker dies; respawned incarnations
+    see it and survive, so a faulty run recovers deterministically.
+    ``fired`` reports whether any worker took the fault — the assertion
+    that a crash-recovery test actually exercised the crash.
+    """
+
+    def __init__(self, directory, name: str = "die-once") -> None:
+        self.path = str(os.path.join(str(directory), name))
+
+    @property
+    def fired(self) -> bool:
+        return os.path.exists(self.path)
+
+    def arm(self) -> bool:
+        """Claim the marker from the driver side (see ``create_once``)."""
+        return create_once(self.path)
+
+    def reset(self) -> None:
+        """Disarm and re-arm: the next observer dies again."""
+        if self.fired:
+            os.remove(self.path)
+
+
+def kill_after(sends: int, marker: DieOnceMarker | str | None = None) -> dict:
+    """Die abruptly (``os._exit``) before the ``sends + 1``-th send.
+
+    With a ``marker`` only the first incarnation dies (the recovery
+    pattern); without one every incarnation dies, which turns a
+    respawning driver into a permanent-failure test.
+    """
+    spec = {"kill_after_sends": int(sends)}
+    if marker is not None:
+        spec["once_marker"] = (
+            marker.path if isinstance(marker, DieOnceMarker) else str(marker)
+        )
+    return spec
+
+
+def delay_send(seconds: float) -> dict:
+    """Sleep before every send — a slow producer."""
+    return {"delay_send": float(seconds)}
+
+
+def delay_recv(seconds: float) -> dict:
+    """Sleep after every receive — a slow consumer (backpressure source)."""
+    return {"delay_recv": float(seconds)}
+
+
+def merge(*specs: dict) -> dict:
+    """Combine fault specs; later specs win on key conflicts."""
+    merged: dict = {}
+    for spec in specs:
+        merged.update(spec)
+    return merged

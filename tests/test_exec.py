@@ -200,17 +200,24 @@ class TestChunkedRecovery:
     def test_worker_death_recovers_from_bundle(
         self, runner, reference, tmp_path
     ):
+        from dist_faults import DieOnceMarker
+
+        marker = DieOnceMarker(tmp_path)
         executor = ChunkedExecutor()
-        executor._fault_marker = str(tmp_path / "die-once")
+        executor._fault_marker = marker.path
         result = runner.run_grid("equivalence", executor=executor, **GRID)
-        assert os.path.exists(executor._fault_marker)  # a worker did die
+        assert marker.fired  # a worker did die
         assert canonical(result) == reference
 
     def test_permanent_failure_raises(self, runner, tmp_path):
+        from dist_faults import DieOnceMarker
+
+        marker = DieOnceMarker(tmp_path)
         executor = ChunkedExecutor(max_retries=0)
-        executor._fault_marker = str(tmp_path / "die-once")
+        executor._fault_marker = marker.path
         with pytest.raises(ExecutionError, match="segment worker"):
             runner.run_grid("equivalence", executor=executor, **GRID)
+        assert marker.fired
 
 
 class TestSnapshotAtomicity:
