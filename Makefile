@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test smoke smoke-dist bench bench-hyz bench-dist bench-ingest \
-	bench-sampling bench-smoke bench-baselines docs-check check
+	bench-sampling bench-query bench-smoke smoke-query bench-baselines \
+	docs-check check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -100,6 +101,12 @@ bench-sampling:
 	$(PYTHON) -m repro.experiments bench-sampling --network link \
 	    --events 100000 --chunk 20000 --repeats 2
 
+# Read-serving throughput on paper-scale LINK (conformance asserted
+# against the live estimator before any timing).
+bench-query:
+	$(PYTHON) -m repro.experiments bench-query --network link \
+	    --events 20000 --chunk 5000 --queries 500
+
 # Regenerate the committed benchmark trajectory (paper-scale; minutes).
 # Non-timing fields must reproduce exactly — compare_bench checks that.
 bench-baselines:
@@ -141,6 +148,12 @@ bench-baselines:
 	    --algorithm nonuniform --eps 0.2 --site-values 4 --sites-procs 2 \
 	    --events 1200 --chunk 300 --fault-events 600 \
 	    --out benchmarks/BENCH_dist_smoke.json
+	$(PYTHON) -m repro.experiments bench-query --network link \
+	    --events 20000 --chunk 5000 --queries 500 \
+	    --out benchmarks/BENCH_query_link.json
+	$(PYTHON) -m repro.experiments bench-query --network alarm \
+	    --events 2000 --chunk 500 --queries 300 \
+	    --out benchmarks/BENCH_query_smoke.json
 
 # Tiny ingest + sampling benchmarks whose non-timing fields must match
 # the committed baselines byte-for-byte (the encoder and sampler-engine
@@ -157,7 +170,18 @@ bench-smoke:
 	$(PYTHON) tools/compare_bench.py /tmp/repro_bench_smoke_sampling.json \
 	    benchmarks/BENCH_sampling_smoke.json
 
+# Tiny read-serving benchmark: served answers are asserted bit-identical
+# to the live estimator before timing, and the document's non-timing
+# fields (conformance counts, cache hit/miss/stale counts, refreshes)
+# must match the committed baseline.
+smoke-query:
+	$(PYTHON) -m repro.experiments bench-query --network alarm \
+	    --events 2000 --chunk 500 --queries 300 \
+	    --out /tmp/repro_bench_smoke_query.json
+	$(PYTHON) tools/compare_bench.py /tmp/repro_bench_smoke_query.json \
+	    benchmarks/BENCH_query_smoke.json
+
 docs-check:
 	$(PYTHON) tools/check_docs.py
 
-check: test smoke smoke-dist bench-smoke docs-check
+check: test smoke smoke-dist bench-smoke smoke-query docs-check

@@ -233,9 +233,14 @@ class MonitoringSession:
         """Estimated probability of an ancestrally closed partial event."""
         return self.estimator.query_event(event)
 
-    def log_query_batch(self, data) -> np.ndarray:
-        """Vectorized log-probability estimates over rows of assignments."""
-        return self.estimator.log_query_batch(data)
+    def log_query_batch(self, data, *, strict: bool = False) -> np.ndarray:
+        """Vectorized log-probability estimates over rows of assignments.
+
+        ``strict=True`` replicates the scalar :meth:`log_query` error
+        semantics row by row instead of folding zero denominators into
+        ``-inf``.
+        """
+        return self.estimator.log_query_batch(data, strict=strict)
 
     def estimates(self) -> np.ndarray:
         """The coordinator's current estimate of every counter."""
@@ -245,6 +250,21 @@ class MonitoringSession:
         """An anytime approximate classifier over the current estimates
         (Sec. V, Definition 4 / Theorem 3)."""
         return BayesianClassifier(self.estimator)
+
+    def serve(self, **kwargs):
+        """A :class:`~repro.serve.QueryServer` over this session.
+
+        The read-serving front end: versioned snapshots rebuilt only
+        when the message log's sync epoch advances, batched and cached
+        query evaluation bit-identical to the live :meth:`query` /
+        :meth:`query_event` / :meth:`classifier` paths, and a Theorem-3
+        staleness bound on cached classification decisions (see
+        ``docs/serving.md``).  Keyword arguments configure the server's
+        cache sizes.
+        """
+        from repro.serve import QueryServer
+
+        return QueryServer(self, **kwargs)
 
     def estimated_network(self, *, name: str | None = None) -> BayesianNetwork:
         """The learned parameters materialized as a standalone network."""

@@ -202,6 +202,25 @@ class StreamingMLEEstimator:
         self._k_configs_vec = np.array(
             [l.k_configs for l in self._layouts], dtype=np.int64
         )
+        # Static query-path lookups: the name -> layout map and each
+        # variable's (parent name, stride) pairs never change after
+        # construction, so ``log_query_event`` must not rebuild them per
+        # call.  Strides are plain Python ints — the scalar event path
+        # then computes parent configurations with exact int arithmetic
+        # and no per-call array allocation.
+        self._name_to_layout = {
+            network.node_names[l.index]: l for l in self._layouts
+        }
+        self._event_plans: dict[str, tuple] = {}
+        for layout in self._layouts:
+            node = network.node_names[layout.index]
+            parent_names = network.cpd(node).parent_names
+            self._event_plans[node] = (
+                layout,
+                tuple(parent_names),
+                tuple(int(s) for s in layout.parent_strides),
+                network.variable(node),
+            )
         if encoder not in ENCODERS:
             raise StreamError(
                 f"unknown encoder {encoder!r}; expected one of {ENCODERS}"
@@ -714,35 +733,24 @@ class StreamingMLEEstimator:
     def log_query_event(self, event: Mapping[str, int]) -> float:
         """Estimated log-probability of an ancestrally closed partial event."""
         estimates = self.bank.estimates()
-        name_to_layout = {
-            self.network.node_names[l.index]: l for l in self._layouts
-        }
+        plans = self._event_plans
         for name in event:
-            if name not in name_to_layout:
+            if name not in plans:
                 raise QueryError(f"unknown variable {name!r} in event")
         total = 0.0
+        variable = self.network.variable
         for name, state in event.items():
-            layout = name_to_layout[name]
-            cpd = self.network.cpd(name)
-            for parent in cpd.parent_names:
+            layout, parent_names, strides, var = plans[name]
+            for parent in parent_names:
                 if parent not in event:
                     raise QueryError(
                         f"event is not ancestrally closed: {name!r} assigned "
                         f"but parent {parent!r} is not"
                     )
-            parent_vec = np.array(
-                [
-                    self.network.variable(p).state_index(event[p])
-                    for p in cpd.parent_names
-                ],
-                dtype=np.int64,
-            )
-            pstate = (
-                int(parent_vec @ layout.parent_strides)
-                if parent_vec.size
-                else 0
-            )
-            state_idx = self.network.variable(name).state_index(state)
+            pstate = 0
+            for parent, stride in zip(parent_names, strides):
+                pstate += variable(parent).state_index(event[parent]) * stride
+            state_idx = var.state_index(state)
             num = estimates[
                 layout.joint_offset + state_idx * layout.k_configs + pstate
             ]
@@ -761,8 +769,20 @@ class StreamingMLEEstimator:
         value = self.log_query_event(event)
         return math.exp(value) if value > -math.inf else 0.0
 
-    def log_query_batch(self, data: np.ndarray) -> np.ndarray:
-        """Vectorized :meth:`log_query` over rows of full assignments."""
+    def log_query_batch(
+        self, data: np.ndarray, *, strict: bool = False
+    ) -> np.ndarray:
+        """Vectorized :meth:`log_query` over rows of full assignments.
+
+        By default every degenerate counter pair — zero numerator *or*
+        zero denominator — folds into ``-inf`` for that row.  With
+        ``strict=True`` the batch replicates the scalar walk exactly:
+        rows whose first degenerate family has a zero numerator return
+        ``-inf`` (later families are not inspected, matching the scalar
+        short-circuit), while a zero *denominator* under a positive
+        numerator raises :class:`QueryError` just like :meth:`log_query`
+        would on that row.
+        """
         data = np.asarray(data, dtype=np.int64)
         if data.ndim != 2 or data.shape[1] != len(self._layouts):
             raise QueryError(
@@ -770,9 +790,13 @@ class StreamingMLEEstimator:
                 f"got {data.shape}"
             )
         estimates = self.bank.estimates()
+        n_layouts = len(self._layouts)
         total = np.zeros(data.shape[0], dtype=np.float64)
+        if strict:
+            first_neg = np.full(data.shape[0], n_layouts, dtype=np.int64)
+            first_bad = np.full(data.shape[0], n_layouts, dtype=np.int64)
         with np.errstate(divide="ignore", invalid="ignore"):
-            for layout in self._layouts:
+            for position, layout in enumerate(self._layouts):
                 pstate = layout.parent_state_batch(data)
                 num = estimates[
                     layout.joint_offset
@@ -784,6 +808,26 @@ class StreamingMLEEstimator:
                     (num > 0) & (den > 0), np.log(num) - np.log(den), -np.inf
                 )
                 total += term
+                if strict:
+                    neg = num <= 0
+                    bad = ~neg & (den <= 0)
+                    np.minimum(
+                        first_neg, np.where(neg, position, n_layouts),
+                        out=first_neg,
+                    )
+                    np.minimum(
+                        first_bad, np.where(bad, position, n_layouts),
+                        out=first_bad,
+                    )
+        if strict:
+            offending = np.flatnonzero(first_bad < first_neg)
+            if offending.size:
+                raise QueryError(
+                    f"parent counter is zero while joint counter is not "
+                    f"for row {int(offending[0])} (and "
+                    f"{int(offending.size) - 1} more); the model has seen "
+                    f"no consistent data for these events"
+                )
         return total
 
     # ------------------------------------------------------------------

@@ -537,9 +537,9 @@ class DistributedSession:
         self.flush()
         return self.inner.query_event(event)
 
-    def log_query_batch(self, data) -> np.ndarray:
+    def log_query_batch(self, data, *, strict: bool = False) -> np.ndarray:
         self.flush()
-        return self.inner.log_query_batch(data)
+        return self.inner.log_query_batch(data, strict=strict)
 
     def estimates(self) -> np.ndarray:
         self.flush()
@@ -548,6 +548,18 @@ class DistributedSession:
     def classifier(self):
         self.flush()
         return self.inner.classifier()
+
+    def serve(self, **kwargs):
+        """A :class:`~repro.serve.QueryServer` over this coordinator.
+
+        The server reads through this session's flushing ``estimator``
+        and ``message_log`` properties, so every snapshot it builds
+        reflects all applied rounds; see
+        :meth:`repro.api.session.MonitoringSession.serve`.
+        """
+        from repro.serve import QueryServer
+
+        return QueryServer(self, **kwargs)
 
     def estimated_network(self, *, name: str | None = None):
         self.flush()

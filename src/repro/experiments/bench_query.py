@@ -1,0 +1,287 @@
+"""``bench-query``: throughput of the read-serving layer.
+
+Measures the three read paths the serving subsystem provides — per-call
+live queries (the pre-serving baseline), batched snapshot evaluation,
+and cached serving (event LRU + Theorem-3-bounded decision cache) —
+over one seeded :class:`~repro.serve.QueryWorkload`.
+
+Correctness gates timing, like every benchmark in this repo: before any
+clock starts, the served answers are asserted *bit-identical* to the
+live session's ``log_query`` / ``log_query_event`` / classifier on a
+conformance slice, then the stream is advanced one more sync epoch and
+the assertion repeats against the refreshed snapshot.  All wall-clock
+derived fields use the canonical timing keys
+(:func:`~repro.experiments.results.strip_timing` — ``wall_seconds``,
+``queries_per_second``, ``cache_hit_rate``, ``speedup_vs_*``), so the
+committed ``benchmarks/BENCH_query_*.json`` documents compare stably
+across hosts; cache hit/miss/stale counts and snapshot refresh counts
+are deterministic functions of the seeds and are pinned.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.api.spec import EstimatorSpec
+from repro.bn.repository import network_by_name
+from repro.serve import QueryWorkload
+from repro.utils.validation import check_positive_int
+
+
+def _assert_served_conformance(session, server, rows, events, targets,
+                               data) -> int:
+    """Every served answer must equal the live one, bitwise.  Returns the
+    number of conformance checks performed."""
+    estimator = session.estimator
+    checks = 0
+    live_rows = np.array([session.log_query(row) for row in rows])
+    served_rows = server.log_joint_batch(rows)
+    if not np.array_equal(live_rows, served_rows):
+        raise AssertionError(
+            "served batch diverged from the live per-call log_query walk"
+        )
+    checks += len(rows)
+    for row in rows:
+        if server.log_joint(row) != session.log_query(row):
+            raise AssertionError(
+                "served scalar log_joint diverged from live log_query"
+            )
+        checks += 1
+    for event in events:
+        if server.log_event(event) != estimator.log_query_event(event):
+            raise AssertionError(
+                "served log_event diverged from live log_query_event"
+            )
+        checks += 1
+    classifier = session.classifier()
+    if not np.array_equal(
+        server.classify_batch(targets, data),
+        classifier.predict_batch(targets, data),
+    ):
+        raise AssertionError(
+            "served classification diverged from the live classifier"
+        )
+    checks += len(targets)
+    for target, row in zip(targets[:10], data[:10]):
+        evidence = {
+            name: int(row[i])
+            for i, name in enumerate(session.network.node_names)
+            if name != target
+        }
+        if not np.array_equal(
+            server.scores(target, evidence),
+            classifier.scores(target, evidence),
+        ):
+            raise AssertionError(
+                "served scores diverged from the live classifier scores"
+            )
+        checks += 1
+    return checks
+
+
+def benchmark_query_serving(
+    network="alarm",
+    *,
+    algorithm: str = "nonuniform",
+    eps: float = 0.1,
+    n_sites: int = 10,
+    counter_backend: str = "hyz",
+    n_events: int = 50_000,
+    chunk: int = 10_000,
+    n_queries: int = 2_000,
+    event_pool: int = 32,
+    classify_pool: int = 64,
+    zipf_exponent: float = 1.1,
+    conformance_slice: int = 200,
+    seed: int = 0,
+) -> dict:
+    """Measure serving throughput against the live per-call read path.
+
+    One session ingests ``n_events`` events, then a seeded workload of
+    ``n_queries`` point queries, Zipf-skewed partial events, and
+    Zipf-skewed classification requests is replayed against (a) the live
+    session per call and (b) a :class:`~repro.serve.QueryServer`.
+    Conformance (bit-identity on a ``conformance_slice``-sized slice,
+    re-verified after a further sync epoch) is asserted before any
+    timing.  The document's result entries carry queries/sec per mode,
+    speedups over the live per-call baseline, cache hit statistics, and
+    snapshot refresh counts.
+    """
+    check_positive_int(n_events, "n_events")
+    check_positive_int(n_queries, "n_queries")
+    net = network_by_name(network) if isinstance(network, str) else network
+    spec = EstimatorSpec(
+        network=net, algorithm=algorithm, eps=eps, n_sites=n_sites,
+        seed=seed + 1, counter_backend=counter_backend,
+    )
+    session = spec.session()
+    sampler = session.sampler(seed=seed + 2)
+    session.ingest_sampler(sampler, n_events, chunk=chunk)
+
+    workload = QueryWorkload(net, seed=seed + 3)
+    rows = workload.assignments(n_queries)
+    events = workload.events(
+        n_queries, pool_size=event_pool, zipf_exponent=zipf_exponent
+    )
+    targets, cdata = workload.classification_batch(
+        n_queries, pool_size=classify_pool, zipf_exponent=zipf_exponent
+    )
+
+    # Conformance before timing — now, and again one sync epoch later so
+    # the snapshot-refresh path is covered too.
+    server = session.serve()
+    s = min(int(conformance_slice), n_queries)
+    checks = _assert_served_conformance(
+        session, server, rows[:s], events[:s], targets[:s], cdata[:s]
+    )
+    epoch_before = session.message_log.epoch
+    session.ingest(sampler.sample(max(1, chunk // 10)))
+    if session.message_log.epoch == epoch_before:
+        raise AssertionError("ingest did not advance the sync epoch")
+    refreshes_before = server.snapshot_refreshes
+    checks += _assert_served_conformance(
+        session, server, rows[:s], events[:s], targets[:s], cdata[:s]
+    )
+    if server.snapshot_refreshes != refreshes_before + 1:
+        raise AssertionError(
+            "conformance pass after an epoch advance should rebuild the "
+            "snapshot exactly once"
+        )
+
+    # Fresh server for clean timing/cache counters.
+    server = session.serve()
+    estimator = session.estimator
+    classifier = session.classifier()
+    results = []
+
+    t0 = time.perf_counter()
+    for row in rows:
+        session.log_query(row)
+    single_wall = time.perf_counter() - t0
+    results.append({
+        "mode": "point-live-single",
+        "n_queries": n_queries,
+        "wall_seconds": single_wall,
+        "queries_per_second": n_queries / single_wall,
+    })
+
+    t0 = time.perf_counter()
+    for row in rows:
+        server.log_joint(row)
+    served_single_wall = time.perf_counter() - t0
+    results.append({
+        "mode": "point-served-single",
+        "n_queries": n_queries,
+        "wall_seconds": served_single_wall,
+        "queries_per_second": n_queries / served_single_wall,
+        "speedup_vs_live": single_wall / served_single_wall,
+    })
+
+    t0 = time.perf_counter()
+    server.log_joint_batch(rows)
+    batch_wall = time.perf_counter() - t0
+    results.append({
+        "mode": "point-served-batched",
+        "n_queries": n_queries,
+        "wall_seconds": batch_wall,
+        "queries_per_second": n_queries / batch_wall,
+        "speedup_vs_live": single_wall / batch_wall,
+    })
+
+    t0 = time.perf_counter()
+    for event in events:
+        estimator.log_query_event(event)
+    event_live_wall = time.perf_counter() - t0
+    results.append({
+        "mode": "event-live-single",
+        "n_queries": n_queries,
+        "wall_seconds": event_live_wall,
+        "queries_per_second": n_queries / event_live_wall,
+    })
+
+    cache_before = server.stats()["event_cache"]
+    t0 = time.perf_counter()
+    server.log_event_batch(events)
+    event_cached_wall = time.perf_counter() - t0
+    cache_after = server.stats()["event_cache"]
+    hits = cache_after["hits"] - cache_before["hits"]
+    misses = cache_after["misses"] - cache_before["misses"]
+    results.append({
+        "mode": "event-served-cached",
+        "n_queries": n_queries,
+        "wall_seconds": event_cached_wall,
+        "queries_per_second": n_queries / event_cached_wall,
+        "speedup_vs_live": event_live_wall / event_cached_wall,
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "cache_hit_rate": hits / max(1, hits + misses),
+    })
+
+    t0 = time.perf_counter()
+    classifier.predict_batch(targets, cdata)
+    classify_live_wall = time.perf_counter() - t0
+    results.append({
+        "mode": "classify-live-batch",
+        "n_queries": n_queries,
+        "wall_seconds": classify_live_wall,
+        "queries_per_second": n_queries / classify_live_wall,
+    })
+
+    t0 = time.perf_counter()
+    server.classify_batch(targets, cdata)
+    classify_wall = time.perf_counter() - t0
+    decisions = server.stats()["decision_cache"]
+    results.append({
+        "mode": "classify-served-cached",
+        "n_queries": n_queries,
+        "wall_seconds": classify_wall,
+        "queries_per_second": n_queries / classify_wall,
+        "speedup_vs_live": classify_live_wall / classify_wall,
+        "cache_hits": decisions["hits"],
+        "cache_misses": decisions["misses"],
+        "cache_hit_rate": decisions["hits"]
+        / max(1, decisions["hits"] + decisions["misses"]),
+    })
+
+    # Staleness-bounded serving across a sync epoch: advance the stream,
+    # replay the same classification batch, and count how many cached
+    # decisions the Theorem-3 margin kept servable vs invalidated.
+    session.ingest(sampler.sample(max(1, chunk // 10)))
+    refreshes_before = server.snapshot_refreshes
+    server.classify_batch(targets, cdata)
+    decisions = server.stats()["decision_cache"]
+    stale = {
+        "stale_hits": decisions["stale_hits"],
+        "invalidations": decisions["invalidations"],
+        "snapshot_refreshes_during_replay":
+            server.snapshot_refreshes - refreshes_before,
+        "staleness_threshold_example": server.staleness_threshold(
+            net.node_names[0]
+        ),
+    }
+
+    stats = server.stats()
+    return {
+        "benchmark": "query-serving",
+        "schema": "repro-bench-v1",
+        "network": net.name,
+        "n_variables": net.n_variables,
+        "algorithm": algorithm,
+        "eps": eps,
+        "counter_backend": counter_backend,
+        "n_sites": n_sites,
+        "n_events": n_events,
+        "n_queries": n_queries,
+        "event_pool": event_pool,
+        "classify_pool": classify_pool,
+        "zipf_exponent": zipf_exponent,
+        "seed": seed,
+        "conformance_checks": checks,
+        "conformant": True,
+        "snapshot_refreshes": stats["snapshot_refreshes"],
+        "snapshot_epoch": stats["snapshot_epoch"],
+        "stale_serving": stale,
+        "results": results,
+    }

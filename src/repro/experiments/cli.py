@@ -29,6 +29,12 @@ One subcommand per figure family of Zhang, Tirthapura & Cormode (ICDE 2018):
   and the analytic ``ClusterCostModel``; conformance (and one
   kill/recover cycle) is asserted before timing.  Produces the committed
   ``benchmarks/BENCH_dist_*.json`` trajectory.
+- ``bench-query`` — throughput of the read-serving layer
+  (``session.serve()``): per-call live queries vs batched snapshot
+  evaluation vs cached serving, plus classification with the Theorem-3
+  staleness-bounded decision cache.  Bit-identity of every served
+  answer to the live session is asserted before timing.  Produces the
+  committed ``benchmarks/BENCH_query_*.json`` trajectory.
 
 Each subcommand prints an aligned summary table to stderr and writes a
 ``BENCH_*.json``-style document to ``--out`` (stdout by default).
@@ -72,6 +78,7 @@ from repro.experiments.bench import (
     benchmark_update_strategies,
 )
 from repro.experiments.bench_dist import benchmark_distributed_runtime
+from repro.experiments.bench_query import benchmark_query_serving
 from repro.experiments.presets import (
     classification_experiment,
     long_crossover_experiment,
@@ -483,6 +490,37 @@ def main(argv=None) -> int:
     )
     p_bench_dist.add_argument("--out", default=None)
 
+    p_bench_query = sub.add_parser(
+        "bench-query",
+        help="throughput of the read-serving layer (live per-call vs "
+        "batched vs cached), with bit-identity asserted before timing",
+    )
+    p_bench_query.add_argument("--network", default="alarm")
+    p_bench_query.add_argument("--algorithm", default="nonuniform")
+    p_bench_query.add_argument("--eps", type=float, default=0.1)
+    p_bench_query.add_argument("--sites", type=int, default=10)
+    p_bench_query.add_argument("--counter-backend", default="hyz",
+                               choices=["hyz", "deterministic", "exact"])
+    p_bench_query.add_argument("--events", type=int, default=50_000,
+                               help="ingest stream length before serving "
+                               "(default: %(default)s)")
+    p_bench_query.add_argument("--chunk", type=int, default=10_000)
+    p_bench_query.add_argument("--queries", type=int, default=2_000,
+                               help="requests per workload mode "
+                               "(default: %(default)s)")
+    p_bench_query.add_argument("--event-pool", type=int, default=32,
+                               help="distinct partial events in the "
+                               "Zipf-skewed pool (default: %(default)s)")
+    p_bench_query.add_argument("--classify-pool", type=int, default=64,
+                               help="distinct classification requests in "
+                               "the Zipf-skewed pool (default: %(default)s)")
+    p_bench_query.add_argument("--zipf-exponent", type=float, default=1.1)
+    p_bench_query.add_argument("--conformance-slice", type=int, default=200,
+                               help="requests bit-checked against the live "
+                               "session before timing (default: %(default)s)")
+    p_bench_query.add_argument("--seed", type=int, default=0)
+    p_bench_query.add_argument("--out", default=None)
+
     p_bench_hyz = sub.add_parser(
         "bench-hyz", help="microbenchmark the HYZ span-replay engines"
     )
@@ -778,6 +816,43 @@ def main(argv=None) -> int:
                 rows,
                 title=f"distributed runtime ({document['network']}, "
                       f"m={args.events}, conformant=yes{fault_note})",
+            ),
+        )
+        return 0
+    if args.command == "bench-query":
+        document = benchmark_query_serving(
+            args.network,
+            algorithm=args.algorithm,
+            eps=args.eps,
+            n_sites=args.sites,
+            counter_backend=args.counter_backend,
+            n_events=args.events,
+            chunk=args.chunk,
+            n_queries=args.queries,
+            event_pool=args.event_pool,
+            classify_pool=args.classify_pool,
+            zipf_exponent=args.zipf_exponent,
+            conformance_slice=args.conformance_slice,
+            seed=args.seed,
+        )
+        rows = [
+            [r["mode"], f"{r['queries_per_second']:,.0f}",
+             r.get("speedup_vs_live", "-"),
+             (f"{r['cache_hit_rate']:.3f}"
+              if "cache_hit_rate" in r else "-")]
+            for r in document["results"]
+        ]
+        stale = document["stale_serving"]
+        _emit(
+            document, args.out,
+            summary=format_table(
+                ["mode", "queries/s", "speedup-vs-live", "hit-rate"], rows,
+                title=f"query serving ({document['network']}, "
+                      f"m={args.events}, q={args.queries}, "
+                      f"conformant=yes, refreshes="
+                      f"{document['snapshot_refreshes']}, "
+                      f"stale-served={stale['stale_hits']}, "
+                      f"invalidated={stale['invalidations']})",
             ),
         )
         return 0

@@ -33,6 +33,11 @@ _TIMING_KEYS = frozenset({
     # wall-clock second and mean coordinator round-trip latency.
     "msgs_per_second",
     "round_latency_ms",
+    # Read-serving timing (bench-query): request throughput and the LRU
+    # hit ratio (raw hit/miss counts are deterministic and stay pinned;
+    # the ratio is stripped alongside the rates it normalizes).
+    "queries_per_second",
+    "cache_hit_rate",
 })
 
 

@@ -47,6 +47,22 @@ class MessageLog:
         self._per_kind = {kind: 0 for kind in MessageKind}
         self._per_site = np.zeros(self.n_sites, dtype=np.int64)
         self._coordinator_sent = 0
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Sync-epoch counter for the read-serving layer.
+
+        Advances by exactly one per record call that carries at least one
+        message; zero-count and empty calls leave it unchanged.  The
+        coordinator's estimates can only change when a message is
+        recorded (every counter-bank apply path records its reports in
+        the same call), so a :class:`~repro.serve.ModelSnapshot` built at
+        epoch ``e`` stays exact for as long as ``epoch == e`` — the
+        serving layer rebuilds snapshots only on epoch advances, never
+        per query (``docs/serving.md``).
+        """
+        return self._epoch
 
     # ------------------------------------------------------------------
     def record(self, kind: MessageKind, site: int, count: int = 1) -> None:
@@ -60,6 +76,8 @@ class MessageLog:
         if not 0 <= site < self.n_sites:
             raise ValueError(f"site {site} out of range [0, {self.n_sites})")
         self._per_kind[kind] += count
+        if count > 0:
+            self._epoch += 1
         if kind is MessageKind.BROADCAST:
             self._coordinator_sent += count
         else:
@@ -71,6 +89,8 @@ class MessageLog:
             raise ValueError(f"count must be >= 0, got {count}")
         self._per_kind[MessageKind.BROADCAST] += count * self.n_sites
         self._coordinator_sent += count * self.n_sites
+        if count > 0:
+            self._epoch += 1
 
     def record_syncs_all(self, count: int = 1) -> None:
         """Record ``count`` round-sync answers from every site.
@@ -83,6 +103,8 @@ class MessageLog:
             raise ValueError(f"count must be >= 0, got {count}")
         self._per_kind[MessageKind.SYNC] += count * self.n_sites
         self._per_site += count
+        if count > 0:
+            self._epoch += 1
 
     def record_reports_bulk(self, sites: np.ndarray, counts: np.ndarray) -> None:
         """Vectorized :meth:`record` for REPORT messages."""
@@ -96,8 +118,11 @@ class MessageLog:
             raise ValueError("counts must be >= 0")
         if np.any(sites < 0) or np.any(sites >= self.n_sites):
             raise ValueError("site index out of range")
-        self._per_kind[MessageKind.REPORT] += int(counts.sum())
+        total = int(counts.sum())
+        self._per_kind[MessageKind.REPORT] += total
         np.add.at(self._per_site, sites, counts)
+        if total > 0:
+            self._epoch += 1
 
     # ------------------------------------------------------------------
     @property
@@ -144,6 +169,7 @@ class MessageLog:
             },
             "per_site": self._per_site.copy(),
             "coordinator_sent": int(self._coordinator_sent),
+            "epoch": int(self._epoch),
         }
 
     def load_state_dict(self, state: dict) -> None:
@@ -163,6 +189,10 @@ class MessageLog:
         }
         self._per_site[...] = per_site
         self._coordinator_sent = int(state["coordinator_sent"])
+        # Bundles written before the serving layer carry no epoch; any
+        # non-negative restart value is fine — snapshot staleness checks
+        # only ever compare epochs taken from the same live log.
+        self._epoch = int(state.get("epoch", 0))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"MessageLog(total={self.total}, kinds={self.snapshot()})"

@@ -1,0 +1,118 @@
+"""Immutable, versioned, read-optimized views of the current estimates.
+
+A :class:`ModelSnapshot` turns the counter bank's estimate vector into
+the one table every query path needs: the per-joint-counter log-CPD term
+
+    ``terms[j] = log(num_j) - log(den_j)``
+
+where ``num_j`` is the joint counter's estimate and ``den_j`` its parent
+family's estimate (``repro/core/estimator.py::StreamingMLEEstimator``
+lays joint blocks before parent blocks, so one static gather map links
+the two halves).  Every serving-layer answer — full-assignment queries,
+ancestrally closed events, classification scores — is a sum of entries
+of this table, which is why one contiguous array per sync epoch replaces
+per-call counter walks.
+
+Bit-identity contract: the live scalar paths (``log_query``,
+``log_query_event``, ``BayesianClassifier``) take ``math.log`` of the
+same float64 estimates per call.  ``np.log`` over arrays is *not*
+bitwise-identical to ``math.log`` on this container (SIMD polynomial
+paths differ by an ulp on a ~1e-4 fraction of inputs), so the table is
+built with a ``math.log`` loop over the non-degenerate entries — a few
+milliseconds even for LINK's 21k joint counters, paid once per sync
+epoch instead of per query.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+class ServePlan:
+    """Static layout derived once per estimator for snapshot builds.
+
+    ``parent_of_joint[j]`` is the absolute counter index of the parent
+    family estimate that divides joint counter ``j`` — the same
+    arithmetic every layout in ``StreamingMLEEstimator._layouts``
+    encodes, flattened so a snapshot build is pure array gathers.
+    """
+
+    __slots__ = ("n_joint", "parent_of_joint")
+
+    def __init__(self, estimator) -> None:
+        self.n_joint = int(estimator.n_joint_counters)
+        parent_of_joint = np.empty(self.n_joint, dtype=np.int64)
+        for layout in estimator._layouts:
+            block = layout.cardinality * layout.k_configs
+            parent_of_joint[
+                layout.joint_offset : layout.joint_offset + block
+            ] = layout.parent_offset + np.tile(
+                np.arange(layout.k_configs), layout.cardinality
+            )
+        parent_of_joint.setflags(write=False)
+        self.parent_of_joint = parent_of_joint
+
+
+class ModelSnapshot:
+    """One sync epoch's estimates, frozen into query-ready arrays.
+
+    Attributes
+    ----------
+    epoch:
+        The :attr:`~repro.monitoring.channel.MessageLog.epoch` the
+        snapshot was built at; valid for as long as the log still
+        reports it (estimates cannot move without a recorded message).
+    version:
+        Monotonic build counter of the owning server (epochs can skip —
+        many syncs may land between two reads — versions never do).
+    terms:
+        ``(n_joint_counters,)`` float64 log-CPD term table; ``-inf``
+        wherever the numerator or denominator estimate is zero.
+    neg:
+        Boolean mask of entries whose *numerator* is zero — the scalar
+        query paths return ``-inf`` at the first such family.
+    bad:
+        Boolean mask of entries whose numerator is positive but whose
+        denominator is zero — the strict query paths raise
+        :class:`~repro.errors.QueryError` there (impossible under
+        consistent updates, reachable only by direct bank writes).
+    """
+
+    __slots__ = ("epoch", "version", "terms", "neg", "bad")
+
+    def __init__(self, epoch, version, terms, neg, bad) -> None:
+        self.epoch = epoch
+        self.version = version
+        self.terms = terms
+        self.neg = neg
+        self.bad = bad
+
+    @classmethod
+    def build(
+        cls, estimates: np.ndarray, plan: ServePlan, *, epoch: int,
+        version: int,
+    ) -> "ModelSnapshot":
+        """Freeze ``estimates`` (the full counter vector) into a snapshot."""
+        num = estimates[: plan.n_joint]
+        den = estimates[plan.parent_of_joint]
+        neg = num <= 0.0
+        bad = ~neg & (den <= 0.0)
+        terms = np.full(plan.n_joint, -np.inf)
+        ok = np.flatnonzero(~neg & ~bad)
+        if ok.size:
+            log = math.log
+            terms[ok] = [
+                log(n) - log(d)
+                for n, d in zip(num[ok].tolist(), den[ok].tolist())
+            ]
+        for array in (terms, neg, bad):
+            array.setflags(write=False)
+        return cls(int(epoch), int(version), terms, neg, bad)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelSnapshot(epoch={self.epoch}, version={self.version}, "
+            f"n_joint={self.terms.size})"
+        )
