@@ -1,9 +1,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test smoke smoke-dist bench bench-hyz bench-dist bench-ingest \
-	bench-sampling bench-query bench-smoke smoke-query bench-baselines \
-	docs-check check
+.PHONY: test smoke smoke-dist smoke-net bench bench-hyz bench-dist \
+	bench-ingest bench-sampling bench-query bench-smoke smoke-query \
+	bench-baselines docs-check check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -83,6 +83,30 @@ smoke-dist:
 	$(PYTHON) tools/compare_bench.py /tmp/repro_smoke_dist_bench.json \
 	    benchmarks/BENCH_dist_smoke.json
 
+# The same contract over the TCP transport: a --transport tcp grid must
+# match the in-process reference byte-for-byte, and the tiny
+# bench-dist --transport tcp document (kill/recover cycle included)
+# must match its committed baseline with timing stripped.
+smoke-net:
+	$(PYTHON) -m repro.experiments messages --network alarm \
+	    --algorithms exact,nonuniform --events 1000 --sites 5 \
+	    --eval-events 200 --checkpoints 2 \
+	    --out /tmp/repro_smoke_net_ref.json
+	$(PYTHON) -m repro.experiments messages --network alarm \
+	    --algorithms exact,nonuniform --events 1000 --sites 5 \
+	    --eval-events 200 --checkpoints 2 \
+	    --runtime distributed --sites-procs 2 --transport tcp \
+	    --out /tmp/repro_smoke_net.json
+	$(PYTHON) tools/compare_bench.py /tmp/repro_smoke_net.json \
+	    /tmp/repro_smoke_net_ref.json
+	$(PYTHON) -m repro.experiments bench-dist --network alarm \
+	    --transport tcp \
+	    --algorithm nonuniform --eps 0.2 --site-values 4 --sites-procs 2 \
+	    --events 1200 --chunk 300 --fault-events 600 \
+	    --out /tmp/repro_smoke_net_bench.json
+	$(PYTHON) tools/compare_bench.py /tmp/repro_smoke_net_bench.json \
+	    benchmarks/BENCH_net_smoke.json
+
 bench:
 	$(PYTHON) -m repro.experiments bench --sites 30 --events 20000
 
@@ -148,6 +172,13 @@ bench-baselines:
 	    --algorithm nonuniform --eps 0.2 --site-values 4 --sites-procs 2 \
 	    --events 1200 --chunk 300 --fault-events 600 \
 	    --out benchmarks/BENCH_dist_smoke.json
+	$(PYTHON) -m repro.experiments bench-dist --network alarm \
+	    --transport tcp --out benchmarks/BENCH_net_alarm.json
+	$(PYTHON) -m repro.experiments bench-dist --network alarm \
+	    --transport tcp \
+	    --algorithm nonuniform --eps 0.2 --site-values 4 --sites-procs 2 \
+	    --events 1200 --chunk 300 --fault-events 600 \
+	    --out benchmarks/BENCH_net_smoke.json
 	$(PYTHON) -m repro.experiments bench-query --network link \
 	    --events 20000 --chunk 5000 --queries 500 \
 	    --out benchmarks/BENCH_query_link.json
@@ -184,4 +215,4 @@ smoke-query:
 docs-check:
 	$(PYTHON) tools/check_docs.py
 
-check: test smoke smoke-dist bench-smoke smoke-query docs-check
+check: test smoke smoke-dist smoke-net bench-smoke smoke-query docs-check

@@ -119,10 +119,23 @@ class DistributedSession:
     max_respawns:
         Worker deaths tolerated per worker slot before the session gives
         up with :class:`~repro.errors.ExecutionError`.
+    transport:
+        ``"queue"`` (the default, in-host ``multiprocessing`` queues) or
+        ``"tcp"`` — the :mod:`repro.net` socket transport: workers dial
+        a loopback listener and speak the framed wire protocol, with
+        identical conformance guarantees (see ``docs/networking.md``).
+    poll_interval:
+        Liveness-poll cadence threaded into every transport end
+        (defaults to :data:`~repro.dist.transport.POLL_INTERVAL`).
     worker_faults / worker_inbox_faults:
         Test hooks: declarative fault specs (see
-        :mod:`repro.dist.transport`) installed on a worker's report /
-        inbox transport, keyed by worker index.
+        :mod:`repro.dist.transport` and :mod:`repro.net.transport`)
+        installed on a worker's report / inbox transport, keyed by
+        worker index.
+    coordinator_faults:
+        TCP-only test hook: fault specs installed listener-side on a
+        worker's *reports* channel (see :mod:`repro.net.endpoint`),
+        keyed by worker index.
     """
 
     def __init__(
@@ -135,8 +148,11 @@ class DistributedSession:
         inbox_slots: int | None = None,
         report_slots: int | None = None,
         max_respawns: int = 5,
+        transport: str = "queue",
+        poll_interval: float | None = None,
         worker_faults: dict | None = None,
         worker_inbox_faults: dict | None = None,
+        coordinator_faults: dict | None = None,
         _inner: MonitoringSession | None = None,
     ) -> None:
         if isinstance(spec.seed, np.random.Generator):
@@ -163,8 +179,23 @@ class DistributedSession:
             else 4 * self.max_pending + 4
         )
         self.max_respawns = int(max_respawns)
+        if transport not in ("queue", "tcp"):
+            raise SessionError(
+                f"transport must be 'queue' or 'tcp', got {transport!r}"
+            )
+        self.transport = transport
+        self._poll_interval = (
+            None if poll_interval is None else float(poll_interval)
+        )
         self._worker_faults = dict(worker_faults or {})
         self._worker_inbox_faults = dict(worker_inbox_faults or {})
+        self._coordinator_faults = dict(coordinator_faults or {})
+        self._listener = None
+        self._replaying = False
+        if self.transport == "tcp":
+            from repro.net.endpoint import Listener
+
+            self._listener = Listener(poll_interval=self._poll_interval)
 
         import multiprocessing
 
@@ -196,6 +227,7 @@ class DistributedSession:
             "threshold_frames_sent": 0,
             "sync_frames_received": 0,
             "duplicate_report_frames": 0,
+            "replayed_rounds": 0,
             "worker_respawns": 0,
             "rounds_applied": 0,
             "round_latency_seconds": 0.0,
@@ -205,26 +237,52 @@ class DistributedSession:
     # Worker lifecycle
     # ------------------------------------------------------------------
     def _payload(self, handle: _WorkerHandle) -> dict:
-        return {
+        payload = {
             "worker": handle.index,
             "spec": self.inner.spec.to_dict(),
             "sites": list(handle.sites),
-            "inbox": handle.inbox.queue,
-            "reports": handle.reports.queue,
             "state": handle.state,
             "fault": self._worker_faults.get(handle.index),
             "inbox_fault": self._worker_inbox_faults.get(handle.index),
+            "poll_interval": self._poll_interval,
         }
+        if self.transport == "tcp":
+            # Socket workers carry no queue ends — they dial the
+            # listener and authenticate as this exact incarnation.
+            payload["net"] = {
+                "address": self._listener.address,
+                "token": self._listener.token,
+                "incarnation": handle.respawns,
+            }
+        else:
+            payload["inbox"] = handle.inbox.queue
+            payload["reports"] = handle.reports.queue
+        return payload
 
     def _spawn(self, handle: _WorkerHandle) -> None:
-        handle.inbox = QueueTransport(
-            self._ctx.Queue(self._inbox_slots),
-            name=f"worker-{handle.index}.inbox",
-        )
-        handle.reports = QueueTransport(
-            self._ctx.Queue(self._report_slots),
-            name=f"worker-{handle.index}.reports",
-        )
+        if self.transport == "tcp":
+            # Fresh channels per incarnation, exactly like the fresh
+            # queues below: the listener now refuses every Hello except
+            # this incarnation's, so a SIGKILLed predecessor's lingering
+            # socket can neither wedge nor impersonate the replacement.
+            handle.inbox = self._listener.open_channel(
+                handle.index, "inbox", handle.respawns,
+            )
+            handle.reports = self._listener.open_channel(
+                handle.index, "reports", handle.respawns,
+                fault=self._coordinator_faults.get(handle.index),
+            )
+        else:
+            handle.inbox = QueueTransport(
+                self._ctx.Queue(self._inbox_slots),
+                name=f"worker-{handle.index}.inbox",
+                poll_interval=self._poll_interval,
+            )
+            handle.reports = QueueTransport(
+                self._ctx.Queue(self._report_slots),
+                name=f"worker-{handle.index}.reports",
+                poll_interval=self._poll_interval,
+            )
         handle.thresholds_sent = 0
         handle.thresholds_acked = 0
         handle.process = self._ctx.Process(
@@ -252,7 +310,15 @@ class DistributedSession:
             )
         # A fresh inbox: frames the dead worker never drained are covered
         # by the unreported replay below, and a stale queue must not leak
-        # them to the replacement twice.
+        # them to the replacement twice.  The abandoned queue's feeder
+        # thread may be wedged mid-frame on a pipe nobody will ever read
+        # again — without the cancel its atexit finalizer joins that
+        # thread forever and the whole process hangs at shutdown.
+        if self.transport != "tcp":
+            for old in (handle.inbox, handle.reports):
+                if old is not None:
+                    old.queue.cancel_join_thread()
+                    old.queue.close()
         self._spawn(handle)
         for seq in sorted(handle.unreported):
             data, site_ids = handle.unreported[seq]
@@ -319,11 +385,43 @@ class DistributedSession:
             handle.reports = None
             return None
 
+    def _maybe_replay(self) -> None:
+        """Replay unreported rounds of workers whose connection broke.
+
+        TCP only: frames that were in flight on a severed/replaced
+        connection are gone; the worker itself is (usually) still
+        alive, so the revive-replay path never fires.  Re-shipping the
+        worker's unreported sub-batches closes the gap — re-encoded
+        aggregates are pure functions of the sub-batch and reports are
+        deduplicated per round, so a replay that races the original
+        report applies exactly once either way.
+        """
+        if self._listener is None or self._replaying:
+            return
+        disrupted = self._listener.take_disrupted()
+        if not disrupted:
+            return
+        self._replaying = True
+        try:
+            for w in sorted(disrupted):
+                handle = self._workers[w]
+                if not handle.alive():
+                    continue  # the revive path owns dead-worker replay
+                for seq in sorted(handle.unreported):
+                    data, site_ids = handle.unreported[seq]
+                    self._send(handle, IngestBatch(seq, data, site_ids))
+                    self._wire["replayed_rounds"] += 1
+        finally:
+            self._replaying = False
+
     def _dispatch_available(self) -> bool:
         """Drain everything currently queued without blocking."""
         got_any = False
         while True:
             progressed = False
+            if self._listener is not None:
+                self._listener.pump(0.0)
+                self._maybe_replay()
             for handle in self._workers:
                 frame = self._recv_report(handle)
                 if frame is not None:
@@ -335,20 +433,25 @@ class DistributedSession:
     def _wait_reports(self, timeout: float = 0.25) -> None:
         """Sleep until a report may be ready or a worker dies.
 
-        Blocks on the report pipes' read ends and the worker process
-        sentinels together, so frame arrival and worker death both wake
-        the event loop immediately instead of on a poll tick.
+        Blocks on the report channels' read ends — queue-feeder pipes
+        or, under TCP, the listener and every live connection socket
+        (``multiprocessing.connection.wait`` accepts anything with a
+        ``fileno``) — and the worker process sentinels together, so
+        frame arrival, a (re)connect, and worker death all wake the
+        event loop immediately instead of on a poll tick.
         """
         waitables = []
+        if self._listener is not None:
+            waitables.extend(self._listener.waitables())
         for handle in self._workers:
-            if handle.reports is not None:
+            if self._listener is None and handle.reports is not None:
                 waitables.append(handle.reports.queue._reader)
             if handle.alive():
                 waitables.append(handle.process.sentinel)
         if waitables:
             _wait_connections(waitables, timeout=timeout)
         else:  # pragma: no cover - every worker gone and abandoned
-            time.sleep(POLL_INTERVAL)
+            time.sleep(self._poll_interval or POLL_INTERVAL)
 
     def _drain_blocking(self) -> None:
         """Wait for at least one frame, reviving dead workers meanwhile."""
@@ -648,10 +751,13 @@ class DistributedSession:
                 if handle.process.is_alive():  # pragma: no cover - defensive
                     handle.process.terminate()
                     handle.process.join(timeout=1.0)
-        for handle in self._workers:
-            handle.inbox.queue.cancel_join_thread()
-            if handle.reports is not None:
-                handle.reports.queue.cancel_join_thread()
+        if self._listener is not None:
+            self._listener.close()
+        else:
+            for handle in self._workers:
+                handle.inbox.queue.cancel_join_thread()
+                if handle.reports is not None:
+                    handle.reports.queue.cancel_join_thread()
 
     def __enter__(self) -> "DistributedSession":
         return self

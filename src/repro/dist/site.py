@@ -170,10 +170,12 @@ def _site_worker_main(payload: dict) -> None:
     """Worker entry point: encode batches until told to shut down.
 
     ``payload`` carries only picklable values: the spec as a dict, the
-    hosted site ids, both queue ends, an optional resume ``state`` (from
-    the previous incarnation's last report) and an optional declarative
-    ``fault`` spec wrapped around the report transport by the
-    fault-injection tests.
+    hosted site ids, the channel ends — both queue ends, or (under the
+    TCP transport) a ``net`` dict with the coordinator's listener
+    address, session token, and this incarnation number — an optional
+    resume ``state`` (from the previous incarnation's last report) and
+    an optional declarative ``fault`` spec wrapped around the report
+    transport by the fault-injection tests.
     """
     import multiprocessing
 
@@ -184,17 +186,38 @@ def _site_worker_main(payload: dict) -> None:
     worker = int(payload["worker"])
     parent = multiprocessing.parent_process()
     parent_alive = parent.is_alive if parent is not None else (lambda: True)
-    inbox = QueueTransport(
-        payload["inbox"], name=f"worker-{worker}.inbox",
-        fault=payload.get("inbox_fault"),
-    )
-    reports = QueueTransport(
-        payload["reports"], name=f"worker-{worker}.reports",
-        fault=payload.get("fault"),
-    )
+    net = payload.get("net")
+    if net is not None:
+        from repro.net.transport import SocketTransport
+
+        inbox = SocketTransport(
+            net["address"], worker=worker, channel="inbox",
+            incarnation=net["incarnation"], token=net["token"],
+            name=f"worker-{worker}.inbox",
+            fault=payload.get("inbox_fault"),
+            poll_interval=payload.get("poll_interval"),
+        )
+        reports = SocketTransport(
+            net["address"], worker=worker, channel="reports",
+            incarnation=net["incarnation"], token=net["token"],
+            name=f"worker-{worker}.reports",
+            fault=payload.get("fault"),
+            poll_interval=payload.get("poll_interval"),
+        )
+    else:
+        inbox = QueueTransport(
+            payload["inbox"], name=f"worker-{worker}.inbox",
+            fault=payload.get("inbox_fault"),
+            poll_interval=payload.get("poll_interval"),
+        )
+        reports = QueueTransport(
+            payload["reports"], name=f"worker-{worker}.reports",
+            fault=payload.get("fault"),
+            poll_interval=payload.get("poll_interval"),
+        )
     acked = 0
-    while True:
-        try:
+    try:
+        while True:
             frame = inbox.recv(alive=parent_alive)
             if isinstance(frame, Shutdown):
                 return
@@ -218,5 +241,11 @@ def _site_worker_main(payload: dict) -> None:
                 raise RuntimeError(
                     f"site worker got unknown frame {frame!r}"
                 )
-        except TransportClosed:  # pragma: no cover - parent died
-            return
+    except TransportClosed:  # pragma: no cover - parent/listener died
+        return
+    finally:
+        if net is not None:
+            # Both sends above block until the kernel accepted every
+            # byte, so closing here never truncates a reported frame.
+            reports.close()
+            inbox.close()

@@ -76,12 +76,21 @@ class QueueTransport:
     fault:
         Optional declarative fault spec (see module docstring); applied
         on this end only.
+    poll_interval:
+        Seconds between liveness polls while blocked; defaults to the
+        module-level :data:`POLL_INTERVAL`.  Threaded down from
+        ``DistributedSession(poll_interval=...)`` so queue and socket
+        transports can tune their poll cadence independently.
     """
 
-    def __init__(self, queue, *, name: str = "queue", fault: dict | None = None) -> None:
+    def __init__(self, queue, *, name: str = "queue", fault: dict | None = None,
+                 poll_interval: float | None = None) -> None:
         self.queue = queue
         self.name = str(name)
         self.fault = dict(fault) if fault else {}
+        self.poll_interval = (
+            POLL_INTERVAL if poll_interval is None else float(poll_interval)
+        )
         #: Frames successfully sent / received through this end.
         self.sent = 0
         self.received = 0
@@ -115,7 +124,7 @@ class QueueTransport:
         blocked_at = None
         while True:
             try:
-                self.queue.put(frame, timeout=POLL_INTERVAL)
+                self.queue.put(frame, timeout=self.poll_interval)
             except queue_mod.Full:
                 if blocked_at is None:
                     blocked_at = time.monotonic()
@@ -146,7 +155,7 @@ class QueueTransport:
         deadline = None if timeout is None else time.monotonic() + timeout
         while True:
             try:
-                frame = self.queue.get(timeout=POLL_INTERVAL)
+                frame = self.queue.get(timeout=self.poll_interval)
             except queue_mod.Empty:
                 if alive is not None and not alive():
                     try:  # one last non-blocking look: drain races cleanly

@@ -82,6 +82,11 @@ class RunTask:
     runtime: str = "inprocess"
     #: Worker process count for the distributed runtime (None = auto).
     sites_procs: "int | None" = None
+    #: Channel of the distributed runtime: "queue" (in-host
+    #: multiprocessing queues) or "tcp" (the repro.net socket wire).
+    #: Conformant transports, so — like `runtime` — serialized only when
+    #: non-default to keep existing cache keys.
+    transport: str = "queue"
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -134,6 +139,17 @@ class RunTask:
                     f"sites_procs must be positive, got {procs}"
                 )
             object.__setattr__(self, "sites_procs", procs)
+        object.__setattr__(self, "transport", str(self.transport).strip().lower())
+        if self.transport not in ("queue", "tcp"):
+            raise ExecutionError(
+                f"unknown transport {self.transport!r}; expected 'queue' "
+                "or 'tcp'"
+            )
+        if self.transport != "queue" and self.runtime != "distributed":
+            raise ExecutionError(
+                f"transport {self.transport!r} requires runtime="
+                "'distributed' (the in-process runtime has no wire)"
+            )
         schedule = tuple(int(c) for c in self.checkpoints)
         if not schedule or list(schedule) != sorted(set(schedule)):
             raise ExecutionError(
@@ -211,6 +227,8 @@ class RunTask:
             payload["runtime"] = self.runtime
         if self.sites_procs is not None:
             payload["sites_procs"] = self.sites_procs
+        if self.transport != "queue":
+            payload["transport"] = self.transport
         return payload
 
     @classmethod
@@ -236,6 +254,7 @@ class RunTask:
             update_strategy=payload.get("update_strategy", "auto"),
             runtime=payload.get("runtime", "inprocess"),
             sites_procs=payload.get("sites_procs"),
+            transport=payload.get("transport", "queue"),
         )
 
     # ------------------------------------------------------------------
@@ -275,4 +294,5 @@ class RunTask:
             stop_after=stop_after,
             runtime=self.runtime,
             sites_procs=self.sites_procs,
+            transport=self.transport,
         )

@@ -74,6 +74,7 @@ def benchmark_distributed_runtime(
     eps: float = 0.1,
     site_counts=(4, 8, 16),
     procs: int | None = None,
+    transport: str = "queue",
     n_events: int = 20_000,
     chunk: int = 2_000,
     counter_backend: str = "hyz",
@@ -86,7 +87,9 @@ def benchmark_distributed_runtime(
     For each ``k`` in ``site_counts`` the same seeded stream is fed to an
     in-process :class:`MonitoringSession` and a
     :class:`~repro.dist.DistributedSession` (``procs`` worker processes;
-    default ``os.cpu_count()``); conformance is asserted, then the entry
+    default ``os.cpu_count()``; ``transport`` selects the channel —
+    ``"queue"`` or the ``"tcp"`` loopback socket wire of
+    :mod:`repro.net`); conformance is asserted, then the entry
     reports measured ingest throughput, protocol messages per second,
     mean coordinator round latency, the wire-frame tallies, and the
     :class:`ClusterCostModel`'s modeled runtime for the same message
@@ -115,7 +118,7 @@ def benchmark_distributed_runtime(
         )
         ref = MonitoringSession(spec)
         ref_wall = _feed(ref, batches)
-        with DistributedSession(spec, procs=procs) as dist:
+        with DistributedSession(spec, procs=procs, transport=transport) as dist:
             dist_wall = _feed(dist, batches)
             dist.flush()
             _conformance(ref, dist)
@@ -175,6 +178,7 @@ def benchmark_distributed_runtime(
         "n_events": n_events,
         "chunk": chunk,
         "procs": procs,
+        "transport": transport,
         "seed": seed,
         "site_counts": [int(k) for k in site_counts],
         "results": results,
@@ -192,7 +196,7 @@ def benchmark_distributed_runtime(
         _feed(ref, fault_batches)
         with tempfile.TemporaryDirectory() as tmp:
             with DistributedSession(
-                spec, procs=min(procs, k),
+                spec, procs=min(procs, k), transport=transport,
                 worker_faults={0: {
                     "kill_after_sends": 1,
                     "once_marker": os.path.join(tmp, "die-once"),

@@ -145,6 +145,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "(default: one per CPU core, capped at k)",
     )
     parser.add_argument(
+        "--transport", default="queue", choices=["queue", "tcp"],
+        help="channel of --runtime distributed (default: %(default)s); "
+        "'tcp' runs the repro.net socket wire over loopback with "
+        "identical results (see docs/networking.md)",
+    )
+    parser.add_argument(
         "--executor", default="serial", choices=executor_names(),
         help="task-graph driver (default: %(default)s); all executors "
         "produce identical results",
@@ -228,6 +234,7 @@ def _grid_command(args, *, name, eps_values=None, site_counts=None) -> int:
         hyz_engine=args.hyz_engine,
         runtime=args.runtime,
         sites_procs=args.sites_procs,
+        transport=args.transport,
         resume_dir=args.resume_dir,
         stop_after=args.stop_after,
         executor=args.executor,
@@ -471,6 +478,11 @@ def main(argv=None) -> int:
     p_bench_dist.add_argument(
         "--sites-procs", type=int, default=None,
         help="worker processes (default: one per CPU core, capped at k)",
+    )
+    p_bench_dist.add_argument(
+        "--transport", default="queue", choices=["queue", "tcp"],
+        help="runtime channel (default: %(default)s); 'tcp' benches the "
+        "repro.net socket wire over loopback",
     )
     p_bench_dist.add_argument("--events", type=int, default=20_000)
     p_bench_dist.add_argument(
@@ -786,6 +798,7 @@ def main(argv=None) -> int:
             eps=args.eps,
             site_counts=args.site_values,
             procs=args.sites_procs,
+            transport=args.transport,
             n_events=args.events,
             chunk=args.chunk,
             counter_backend=args.counter_backend,
@@ -815,6 +828,7 @@ def main(argv=None) -> int:
                  "round-ms", "model-sec", "measured-sec", "meas/model"],
                 rows,
                 title=f"distributed runtime ({document['network']}, "
+                      f"transport={document['transport']}, "
                       f"m={args.events}, conformant=yes{fault_note})",
             ),
         )

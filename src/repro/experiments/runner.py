@@ -203,6 +203,7 @@ class ExperimentRunner:
         keep_snapshot: bool = False,
         runtime: str = "inprocess",
         sites_procs: int | None = None,
+        transport: str = "queue",
     ) -> RunResult | None:
         """Train one session over one simulated stream.
 
@@ -226,15 +227,26 @@ class ExperimentRunner:
 
         ``runtime="distributed"`` runs the session as a
         :class:`~repro.dist.DistributedSession` over ``sites_procs``
-        worker processes.  The runtime is conformant with the in-process
-        reference (same message counts, same estimates — see
-        ``docs/distributed.md``), so results are byte-identical; the
-        knob is operational, like the executor choice.
+        worker processes, speaking ``transport`` (``"queue"`` or
+        ``"tcp"`` — the :mod:`repro.net` socket wire).  Runtime and
+        transport are conformant with the in-process reference (same
+        message counts, same estimates — see ``docs/distributed.md``
+        and ``docs/networking.md``), so results are byte-identical; the
+        knobs are operational, like the executor choice.
         """
         if runtime not in ("inprocess", "distributed"):
             raise EvaluationError(
                 f"unknown runtime {runtime!r}; expected 'inprocess' or "
                 "'distributed'"
+            )
+        if transport not in ("queue", "tcp"):
+            raise EvaluationError(
+                f"unknown transport {transport!r}; expected 'queue' or 'tcp'"
+            )
+        if transport != "queue" and runtime != "distributed":
+            raise EvaluationError(
+                f"transport {transport!r} requires runtime='distributed' "
+                "(the in-process runtime has no wire)"
             )
         if stop_after is not None and snapshot_path is None:
             raise EvaluationError(
@@ -280,7 +292,7 @@ class ExperimentRunner:
             from repro.dist import DistributedSession
 
             session_cls = DistributedSession
-            session_kwargs = {"procs": sites_procs}
+            session_kwargs = {"procs": sites_procs, "transport": transport}
         else:
             session_cls = MonitoringSession
             session_kwargs = {}
@@ -436,6 +448,7 @@ class ExperimentRunner:
         hyz_engine: str = "vectorized",
         runtime: str = "inprocess",
         sites_procs: int | None = None,
+        transport: str = "queue",
     ) -> list[RunTask]:
         """Expand the cartesian grid into a task graph.
 
@@ -483,6 +496,7 @@ class ExperimentRunner:
                                 update_strategy=self.update_strategy,
                                 runtime=runtime,
                                 sites_procs=sites_procs,
+                                transport=transport,
                             )
                         )
         return tasks
@@ -503,6 +517,7 @@ class ExperimentRunner:
         hyz_engine: str = "vectorized",
         runtime: str = "inprocess",
         sites_procs: int | None = None,
+        transport: str = "queue",
         resume_dir=None,
         stop_after: int | None = None,
         executor="serial",
@@ -545,6 +560,7 @@ class ExperimentRunner:
             hyz_engine=hyz_engine,
             runtime=runtime,
             sites_procs=sites_procs,
+            transport=transport,
         )
         outcome = make_executor(
             executor, jobs=jobs, segment_events=segment_events

@@ -1,0 +1,64 @@
+"""TCP transport subsystem for the distributed runtime.
+
+The queue runtime of :mod:`repro.dist` reaches exactly as far as one
+host; this package is the wire that takes the same coordinator/site
+protocol across a network.  Three layers:
+
+- :mod:`repro.net.wire` — length-prefixed, CRC-checked binary framing
+  for the :mod:`repro.dist.messages` vocabulary, zero-copy for numpy
+  payloads, plus the transport's own control frames (Hello/HelloAck/
+  Ping).
+- :mod:`repro.net.transport` — :class:`SocketTransport`, the
+  dialer-side (site worker) end: the ``QueueTransport`` surface over a
+  non-blocking socket with backpressure accounting, heartbeats, and
+  exponential-backoff reconnect.
+- :mod:`repro.net.endpoint` — :class:`Listener` and
+  :class:`CoordinatorChannel`, the coordinator end: one accept loop,
+  an incarnation-checked handshake, and disruption tracking that
+  drives the coordinator's unreported-round replay.
+
+``DistributedSession(..., transport="tcp")`` plugs the three together;
+``docs/networking.md`` documents the wire format and the recovery
+policies.
+"""
+
+from repro.net.endpoint import CoordinatorChannel, Listener
+from repro.net.transport import (
+    CONNECT_TIMEOUT,
+    HEARTBEAT_INTERVAL,
+    HandshakeRefused,
+    SendQueue,
+    SocketTransport,
+)
+from repro.net.wire import (
+    MAX_FRAME_BYTES,
+    ChecksumError,
+    FrameDecoder,
+    FrameTooLarge,
+    Hello,
+    HelloAck,
+    Ping,
+    WireError,
+    decode_payload,
+    encode_frame,
+)
+
+__all__ = [
+    "Listener",
+    "CoordinatorChannel",
+    "SocketTransport",
+    "SendQueue",
+    "HandshakeRefused",
+    "HEARTBEAT_INTERVAL",
+    "CONNECT_TIMEOUT",
+    "encode_frame",
+    "decode_payload",
+    "FrameDecoder",
+    "Hello",
+    "HelloAck",
+    "Ping",
+    "WireError",
+    "FrameTooLarge",
+    "ChecksumError",
+    "MAX_FRAME_BYTES",
+]

@@ -20,6 +20,10 @@ __all__ = [
     "kill_after",
     "delay_send",
     "delay_recv",
+    "sever_after",
+    "drop_sends",
+    "sockbuf",
+    "discard_frames",
     "merge",
 ]
 
@@ -73,6 +77,37 @@ def delay_send(seconds: float) -> dict:
 def delay_recv(seconds: float) -> dict:
     """Sleep after every receive — a slow consumer (backpressure source)."""
     return {"delay_recv": float(seconds)}
+
+
+def sever_after(sends: int, marker: DieOnceMarker | str | None = None) -> dict:
+    """Abruptly close the TCP connection before the ``sends + 1``-th send.
+
+    A simulated network cut (``repro.net`` transports only): the process
+    survives and re-dials, so this exercises reconnect + replay rather
+    than respawn.  A ``marker`` arms the cut exactly once.
+    """
+    spec = {"sever_after_sends": int(sends)}
+    if marker is not None:
+        spec["sever_marker"] = (
+            marker.path if isinstance(marker, DieOnceMarker) else str(marker)
+        )
+    return spec
+
+
+def drop_sends(frames: int) -> dict:
+    """Silently discard the first N payload frames instead of sending."""
+    return {"drop_sends": int(frames)}
+
+
+def sockbuf(nbytes: int) -> dict:
+    """Shrink SO_SNDBUF/SO_RCVBUF — the narrow-pipe backpressure fault."""
+    return {"sockbuf": int(nbytes)}
+
+
+def discard_frames(frames: int) -> dict:
+    """Listener-side: eat the first N decoded frames and sever the
+    connection — deterministic in-flight loss for the replay tests."""
+    return {"discard_frames": int(frames)}
 
 
 def merge(*specs: dict) -> dict:
