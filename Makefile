@@ -2,8 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test smoke smoke-dist smoke-net bench bench-hyz bench-dist \
-	bench-ingest bench-sampling bench-query bench-smoke smoke-query \
-	bench-baselines docs-check check
+	bench-ingest bench-sampling bench-query bench-recovery bench-smoke \
+	smoke-query smoke-recovery bench-baselines docs-check check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -131,6 +131,11 @@ bench-query:
 	$(PYTHON) -m repro.experiments bench-query --network link \
 	    --events 20000 --chunk 5000 --queries 500
 
+# Coordinator durability: WAL overhead + one kill/recover cycle per
+# transport, byte-identical recovery asserted before timing.
+bench-recovery:
+	$(PYTHON) -m repro.experiments bench-recovery --network alarm
+
 # Regenerate the committed benchmark trajectory (paper-scale; minutes).
 # Non-timing fields must reproduce exactly — compare_bench checks that.
 bench-baselines:
@@ -185,6 +190,11 @@ bench-baselines:
 	$(PYTHON) -m repro.experiments bench-query --network alarm \
 	    --events 2000 --chunk 500 --queries 300 \
 	    --out benchmarks/BENCH_query_smoke.json
+	$(PYTHON) -m repro.experiments bench-recovery --network alarm \
+	    --out benchmarks/BENCH_recovery_alarm.json
+	$(PYTHON) -m repro.experiments bench-recovery --network alarm \
+	    --events 600 --chunk 100 --transports queue \
+	    --out benchmarks/BENCH_recovery_smoke.json
 
 # Tiny ingest + sampling benchmarks whose non-timing fields must match
 # the committed baselines byte-for-byte (the encoder and sampler-engine
@@ -212,7 +222,19 @@ smoke-query:
 	$(PYTHON) tools/compare_bench.py /tmp/repro_bench_smoke_query.json \
 	    benchmarks/BENCH_query_smoke.json
 
+# Tiny coordinator-durability benchmark: the recovered session is
+# asserted byte-identical internally, and the document's non-timing
+# fields (WAL record/byte counts, checkpoints, replayed rounds) must
+# match the committed baseline.
+smoke-recovery:
+	$(PYTHON) -m repro.experiments bench-recovery --network alarm \
+	    --events 600 --chunk 100 --transports queue \
+	    --out /tmp/repro_bench_smoke_recovery.json
+	$(PYTHON) tools/compare_bench.py /tmp/repro_bench_smoke_recovery.json \
+	    benchmarks/BENCH_recovery_smoke.json
+
 docs-check:
 	$(PYTHON) tools/check_docs.py
 
-check: test smoke smoke-dist smoke-net bench-smoke smoke-query docs-check
+check: test smoke smoke-dist smoke-net bench-smoke smoke-query \
+	smoke-recovery docs-check

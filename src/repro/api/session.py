@@ -60,6 +60,15 @@ _META_NAME = "meta.json"
 _ARRAYS_NAME = "arrays.npz"
 
 
+def _fsync_path(path) -> None:
+    """fsync one file or directory (durability for renames within it)."""
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 class MonitoringSession:
     """One live coordinator: estimator + message accounting + partitioner.
 
@@ -307,7 +316,8 @@ class MonitoringSession:
     # ------------------------------------------------------------------
     # Snapshot / restore
     # ------------------------------------------------------------------
-    def snapshot(self, path, *, extra: dict | None = None) -> Path:
+    def snapshot(self, path, *, extra: dict | None = None,
+                 durable: bool = False) -> Path:
         """Persist the full session state to a bundle directory.
 
         ``extra`` is an arbitrary JSON-serializable dict stored verbatim
@@ -318,6 +328,11 @@ class MonitoringSession:
         The write is crash-atomic: arrays first (under a versioned
         name), then one atomic ``meta.json`` replace commits the bundle
         — a crash at any point leaves the previous bundle intact.
+        ``durable=True`` additionally fsyncs the arrays file, the
+        metadata, and the bundle directory, extending the guarantee
+        from process crashes to host/power failure — the distributed
+        coordinator's recovery checkpoints (``docs/recovery.md``) write
+        with it.
         """
         bundle = Path(path)
         bundle.mkdir(parents=True, exist_ok=True)
@@ -345,6 +360,8 @@ class MonitoringSession:
         }
         tmp_arrays = bundle / f".tmp-{arrays_name}"
         np.savez_compressed(tmp_arrays, **arrays)
+        if durable:
+            _fsync_path(tmp_arrays)
         os.replace(tmp_arrays, bundle / arrays_name)
         # No sort_keys: an inline network's ``parents`` mapping is
         # order-significant (it seeds the rebuilt DAG's topological
@@ -352,7 +369,11 @@ class MonitoringSession:
         # must preserve document order.
         tmp_meta = bundle / f".tmp-{_META_NAME}"
         tmp_meta.write_text(json.dumps(meta, indent=2) + "\n")
+        if durable:
+            _fsync_path(tmp_meta)
         os.replace(tmp_meta, bundle / _META_NAME)  # the commit point
+        if durable:
+            _fsync_path(bundle)  # the renames themselves
         for stale in (*bundle.glob("*.npz"), *bundle.glob(".tmp-*")):
             if stale.name != arrays_name:
                 stale.unlink(missing_ok=True)

@@ -16,6 +16,16 @@ from repro.dist.messages import (
     ThresholdUpdate,
     ValueReport,
 )
+from repro.dist.recovery import (
+    CRASH_POINTS,
+    DurableCoordinator,
+    RecoveryError,
+    RoundRecord,
+    WalCorrupt,
+    WriteAheadLog,
+    load_recovery,
+    run_crashing_coordinator,
+)
 from repro.dist.site import SiteShard
 from repro.dist.transport import (
     FAULT_EXIT_CODE,
@@ -37,4 +47,12 @@ __all__ = [
     "ThresholdUpdate",
     "RoundSync",
     "Shutdown",
+    "WriteAheadLog",
+    "RoundRecord",
+    "DurableCoordinator",
+    "RecoveryError",
+    "WalCorrupt",
+    "CRASH_POINTS",
+    "load_recovery",
+    "run_crashing_coordinator",
 ]

@@ -33,7 +33,11 @@ deduplicated per round, and aggregates are pure functions of the
 sub-batch, so a replayed round applies bit-identically).
 
 ``docs/distributed.md`` walks through the design, the wire format, and
-the contract's proof obligations.
+the contract's proof obligations.  With ``wal_dir`` set the coordinator
+is additionally *durable* — rounds are write-ahead logged before they
+touch the banks and checkpointed periodically, and
+``DistributedSession(recover_from=dir)`` restarts a crashed coordinator
+byte-identically (:mod:`repro.dist.recovery`, ``docs/recovery.md``).
 """
 
 from __future__ import annotations
@@ -136,11 +140,44 @@ class DistributedSession:
         TCP-only test hook: fault specs installed listener-side on a
         worker's *reports* channel (see :mod:`repro.net.endpoint`),
         keyed by worker index.
+    wal_dir:
+        Directory for coordinator durability (``docs/recovery.md``): a
+        write-ahead round log, periodic crash-atomic checkpoints, and a
+        ``coordinator.json`` state file live there.  A fresh session
+        takes ownership of the directory (stale artifacts of a prior
+        run are cleared).
+    wal_fsync / wal_fsync_interval:
+        WAL fsync policy — ``"always"`` (per append), ``"interval"``
+        (every ``wal_fsync_interval`` appends), or ``"off"``.
+        Coordinator-*process* crashes are recoverable under all three;
+        fsync extends the guarantee to host/power failure.
+    checkpoint_rounds:
+        Checkpoint (and truncate the WAL) every N applied rounds;
+        ``None`` checkpoints only on :meth:`close` (and on recovery).
+    recover_from:
+        Restart path: rebuild the coordinator from this recovery
+        directory — last committed checkpoint plus WAL replay — with a
+        bumped coordinator incarnation and fresh workers.  ``spec`` is
+        taken from the directory and must not be passed.
+    wal_crash:
+        Chaos-harness hook: a ``{"seq": N, "point": ...}`` spec that
+        hard-kills the coordinator at a seeded injection point (see
+        :data:`~repro.dist.recovery.CRASH_POINTS`).
+    bind_address / advertise_address:
+        TCP only: the interface the listener binds (default loopback;
+        ``"0.0.0.0"`` for all interfaces) and, when binding a wildcard,
+        the address workers are told to dial.
+    max_frame_bytes:
+        TCP only: per-frame payload ceiling for both directions
+        (default :data:`repro.net.wire.MAX_FRAME_BYTES`).
+    heartbeat_timeout:
+        TCP only: worker-side dead-peer threshold in seconds (no frame
+        nor heartbeat for this long drops the connection; default off).
     """
 
     def __init__(
         self,
-        spec: EstimatorSpec,
+        spec: EstimatorSpec | None = None,
         *,
         network=None,
         procs: int | None = None,
@@ -153,8 +190,39 @@ class DistributedSession:
         worker_faults: dict | None = None,
         worker_inbox_faults: dict | None = None,
         coordinator_faults: dict | None = None,
+        wal_dir=None,
+        wal_fsync: str = "always",
+        wal_fsync_interval: int = 8,
+        checkpoint_rounds: int | None = None,
+        recover_from=None,
+        wal_crash: dict | None = None,
+        bind_address: str | None = None,
+        advertise_address: str | None = None,
+        max_frame_bytes: int | None = None,
+        heartbeat_timeout: float | None = None,
         _inner: MonitoringSession | None = None,
     ) -> None:
+        self._durable = None
+        #: JSON-ready summary of the last recovery (None on fresh runs).
+        self.recovery_info = None
+        self._incarnation = 0
+        if recover_from is not None:
+            if spec is not None or _inner is not None:
+                raise SessionError(
+                    "recover_from rebuilds the spec and state from the "
+                    "recovery directory; pass neither spec nor _inner"
+                )
+            from repro.dist.recovery import load_recovery
+
+            _inner, self._incarnation, self.recovery_info = load_recovery(
+                recover_from, network=network
+            )
+            spec = _inner.spec
+            wal_dir = recover_from
+        elif spec is None:
+            raise SessionError(
+                "spec is required unless recover_from is given"
+            )
         if isinstance(spec.seed, np.random.Generator):
             raise SessionError(
                 "DistributedSession ships its spec to worker processes and "
@@ -190,12 +258,66 @@ class DistributedSession:
         self._worker_faults = dict(worker_faults or {})
         self._worker_inbox_faults = dict(worker_inbox_faults or {})
         self._coordinator_faults = dict(coordinator_faults or {})
+        self._max_frame_bytes = (
+            None if max_frame_bytes is None else int(max_frame_bytes)
+        )
+        if self._max_frame_bytes is not None and self._max_frame_bytes < 1:
+            raise SessionError(
+                f"max_frame_bytes must be positive, got {max_frame_bytes}"
+            )
+        self._heartbeat_timeout = (
+            None if heartbeat_timeout is None else float(heartbeat_timeout)
+        )
+        if self._heartbeat_timeout is not None and self._heartbeat_timeout <= 0:
+            raise SessionError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
+        if self.transport != "tcp":
+            for name, value in (
+                ("bind_address", bind_address),
+                ("advertise_address", advertise_address),
+                ("max_frame_bytes", max_frame_bytes),
+                ("heartbeat_timeout", heartbeat_timeout),
+            ):
+                if value is not None:
+                    raise SessionError(
+                        f"{name} only applies to the tcp transport"
+                    )
         self._listener = None
         self._replaying = False
         if self.transport == "tcp":
             from repro.net.endpoint import Listener
 
-            self._listener = Listener(poll_interval=self._poll_interval)
+            listener_kwargs = {
+                "advertise": advertise_address,
+                "incarnation": self._incarnation,
+                "poll_interval": self._poll_interval,
+            }
+            if bind_address is not None:
+                listener_kwargs["host"] = bind_address
+            if self._max_frame_bytes is not None:
+                listener_kwargs["max_frame_bytes"] = self._max_frame_bytes
+            self._listener = Listener(**listener_kwargs)
+
+        if wal_dir is not None:
+            from repro.dist.recovery import DurableCoordinator
+
+            self._durable = DurableCoordinator(
+                wal_dir, self.inner, fsync=wal_fsync,
+                fsync_interval=wal_fsync_interval,
+                checkpoint_rounds=checkpoint_rounds,
+                crash=wal_crash, incarnation=self._incarnation,
+                fresh=(recover_from is None),
+            )
+            if recover_from is not None:
+                # Commit the recovery: bump the on-disk incarnation,
+                # then fold the replayed WAL into a fresh checkpoint so
+                # round numbering can restart at 1 and an immediate
+                # re-crash recovers from here instead of replaying.
+                self._durable._write_state()
+                self._durable.checkpoint()
+        elif wal_crash is not None:
+            raise SessionError("wal_crash requires wal_dir")
 
         import multiprocessing
 
@@ -248,11 +370,16 @@ class DistributedSession:
         }
         if self.transport == "tcp":
             # Socket workers carry no queue ends — they dial the
-            # listener and authenticate as this exact incarnation.
+            # listener and authenticate as this exact incarnation (of
+            # this exact coordinator incarnation: a worker spawned by a
+            # crashed coordinator life is refused by its successor).
             payload["net"] = {
                 "address": self._listener.address,
                 "token": self._listener.token,
                 "incarnation": handle.respawns,
+                "coordinator": self._incarnation,
+                "max_frame_bytes": self._max_frame_bytes,
+                "heartbeat_timeout": self._heartbeat_timeout,
             }
         else:
             payload["inbox"] = handle.inbox.queue
@@ -480,6 +607,11 @@ class DistributedSession:
             record = self._rounds.get(seq)
             if record is None or len(record["got"]) < len(record["expected"]):
                 return
+            if self._durable is not None:
+                # Write-ahead: the round is durable before any of it
+                # touches the banks, so a crash between here and the
+                # apply replays it instead of losing it.
+                self._durable.log_round(seq, record)
             broadcasts_before = log.count(MessageKind.BROADCAST)
             for worker_index in sorted(record["got"]):
                 for agg in record["got"][worker_index]:
@@ -491,6 +623,8 @@ class DistributedSession:
             self._wire["round_latency_seconds"] += (
                 time.monotonic() - record["sent_at"]
             )
+            if self._durable is not None:
+                self._durable.after_apply(seq, record)
             started = log.count(MessageKind.BROADCAST) - broadcasts_before
             if started:
                 # Round-sync fan-out: every worker learns that counter
@@ -544,6 +678,12 @@ class DistributedSession:
             "m": m, "expected": expected, "got": {},
             "sent_at": time.monotonic(),
         }
+        if self._durable is not None:
+            # Captured *at ingest*: with pipelining the live partitioner
+            # advances past the round being applied, so the WAL record
+            # (and through it the checkpoint) must carry the state as of
+            # this round's assignment draw.
+            record["partitioner"] = self.inner.partitioner.state_dict()
         self._rounds[seq] = record
         for w in np.unique(workers_of):
             w = int(w)
@@ -693,6 +833,11 @@ class DistributedSession:
         )
         return stats
 
+    def durability_stats(self) -> dict:
+        """WAL/checkpoint accounting when durable, else an empty dict
+        (see :meth:`repro.dist.recovery.DurableCoordinator.stats`)."""
+        return {} if self._durable is None else self._durable.stats()
+
     # ------------------------------------------------------------------
     # Snapshot / restore (delegated to the inner session)
     # ------------------------------------------------------------------
@@ -737,6 +882,10 @@ class DistributedSession:
             if time.monotonic() > deadline:  # pragma: no cover - defensive
                 break
         self._closed = True
+        if self._durable is not None:
+            # A clean shutdown leaves an empty WAL and a checkpoint of
+            # the complete run — restartable, with nothing to replay.
+            self._durable.close()
         for handle in self._workers:
             if handle.alive():
                 try:

@@ -19,6 +19,11 @@ message vocabularies coexist and must not be confused:
 
 Every frame is a plain ``__slots__`` class, picklable by reference from
 spawn-started workers.  ``docs/distributed.md`` documents the format.
+
+:class:`ValueReport` frames double as the coordinator's durability unit:
+the write-ahead round log (:mod:`repro.dist.recovery`) persists each
+applied round as its reports' wire encodings, so crash recovery replays
+exactly the frames the banks originally consumed (``docs/recovery.md``).
 """
 
 from __future__ import annotations

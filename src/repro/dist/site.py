@@ -189,20 +189,27 @@ def _site_worker_main(payload: dict) -> None:
     net = payload.get("net")
     if net is not None:
         from repro.net.transport import SocketTransport
+        from repro.net.wire import MAX_FRAME_BYTES
 
+        socket_kwargs = {
+            "incarnation": net["incarnation"],
+            "token": net["token"],
+            "coordinator": net.get("coordinator", 0),
+            "max_frame_bytes": net.get("max_frame_bytes") or MAX_FRAME_BYTES,
+            "heartbeat_timeout": net.get("heartbeat_timeout"),
+            "poll_interval": payload.get("poll_interval"),
+        }
         inbox = SocketTransport(
             net["address"], worker=worker, channel="inbox",
-            incarnation=net["incarnation"], token=net["token"],
             name=f"worker-{worker}.inbox",
             fault=payload.get("inbox_fault"),
-            poll_interval=payload.get("poll_interval"),
+            **socket_kwargs,
         )
         reports = SocketTransport(
             net["address"], worker=worker, channel="reports",
-            incarnation=net["incarnation"], token=net["token"],
             name=f"worker-{worker}.reports",
             fault=payload.get("fault"),
-            poll_interval=payload.get("poll_interval"),
+            **socket_kwargs,
         )
     else:
         inbox = QueueTransport(

@@ -87,6 +87,12 @@ class RunTask:
     #: Conformant transports, so — like `runtime` — serialized only when
     #: non-default to keep existing cache keys.
     transport: str = "queue"
+    #: TCP-only wire knobs (None = the transport defaults).  Operational
+    #: — frames decode identically under any admitted cap — but part of
+    #: the descriptor so a run that *failed* on a cap is distinguishable
+    #: from one that fit; serialized only when set (cache-key stable).
+    max_frame_mb: "float | None" = None
+    heartbeat_timeout: "float | None" = None
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -150,6 +156,20 @@ class RunTask:
                 f"transport {self.transport!r} requires runtime="
                 "'distributed' (the in-process runtime has no wire)"
             )
+        for field in ("max_frame_mb", "heartbeat_timeout"):
+            value = getattr(self, field)
+            if value is None:
+                continue
+            value = float(value)
+            if value <= 0:
+                raise ExecutionError(
+                    f"{field} must be positive, got {value}"
+                )
+            if self.transport != "tcp":
+                raise ExecutionError(
+                    f"{field} only applies to the tcp transport"
+                )
+            object.__setattr__(self, field, value)
         schedule = tuple(int(c) for c in self.checkpoints)
         if not schedule or list(schedule) != sorted(set(schedule)):
             raise ExecutionError(
@@ -229,6 +249,10 @@ class RunTask:
             payload["sites_procs"] = self.sites_procs
         if self.transport != "queue":
             payload["transport"] = self.transport
+        if self.max_frame_mb is not None:
+            payload["max_frame_mb"] = self.max_frame_mb
+        if self.heartbeat_timeout is not None:
+            payload["heartbeat_timeout"] = self.heartbeat_timeout
         return payload
 
     @classmethod
@@ -255,6 +279,8 @@ class RunTask:
             runtime=payload.get("runtime", "inprocess"),
             sites_procs=payload.get("sites_procs"),
             transport=payload.get("transport", "queue"),
+            max_frame_mb=payload.get("max_frame_mb"),
+            heartbeat_timeout=payload.get("heartbeat_timeout"),
         )
 
     # ------------------------------------------------------------------
@@ -295,4 +321,6 @@ class RunTask:
             runtime=self.runtime,
             sites_procs=self.sites_procs,
             transport=self.transport,
+            max_frame_mb=self.max_frame_mb,
+            heartbeat_timeout=self.heartbeat_timeout,
         )

@@ -1,0 +1,227 @@
+"""``bench-recovery``: coordinator durability cost and crash recovery.
+
+Two questions, both answered against the in-process reference session:
+
+1. **What does the write-ahead log cost at steady state?**  The same
+   seeded stream is fed to a plain :class:`~repro.dist.DistributedSession`
+   and to a durable one (``wal_dir`` set, ``fsync="always"`` — the most
+   expensive policy); both must stay conformant, and the entry reports
+   the relative ingest slowdown (``wal_overhead_pct``) next to the
+   *deterministic* WAL accounting (records, bytes, checkpoints) that
+   committed baselines pin exactly.
+
+2. **Does a killed coordinator come back byte-identical, and how fast?**
+   For each transport a child coordinator process runs the stream and
+   hard-kills itself (``os._exit``) right after a round's WAL append —
+   the worst injection point: the round is durable but not applied.
+   The driver recovers via ``DistributedSession(recover_from=...)``,
+   resumes the stream where the crashed run's events stopped, and
+   asserts metrics/estimates equality with the uninterrupted reference
+   before reporting ``recovery_seconds`` and the replayed-round count.
+
+Correctness gates timing, as in every bench: a non-conformant run
+raises instead of reporting.  Wall-clock-derived fields use the
+canonical timing keys (:func:`~repro.experiments.results.strip_timing`),
+so committed ``benchmarks/BENCH_recovery_*.json`` documents compare
+stably across hosts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.api.session import MonitoringSession
+from repro.api.spec import EstimatorSpec
+from repro.bn.repository import network_by_name
+from repro.dist import DistributedSession, FAULT_EXIT_CODE
+from repro.dist.recovery import recovery_stream, run_crashing_coordinator
+from repro.dist.site import START_METHOD
+from repro.errors import ExecutionError
+from repro.utils.validation import check_positive_int
+
+
+def _feed(session, batches) -> float:
+    t0 = time.perf_counter()
+    for batch in batches:
+        session.ingest(batch, validate=False)
+    if hasattr(session, "flush"):
+        session.flush()
+    return time.perf_counter() - t0
+
+
+def _conformance(ref: MonitoringSession, dist, *,
+                 dist_epoch: int | None = None) -> None:
+    if ref.metrics() != dist.metrics():
+        raise AssertionError(
+            "recovered/durable runtime diverged from the in-process "
+            f"reference: {dist.metrics()} != {ref.metrics()}"
+        )
+    if not np.array_equal(ref.estimates(), dist.estimates()):
+        raise AssertionError(
+            "recovered/durable runtime produced different estimates than "
+            "the in-process reference"
+        )
+    # Epoch granularity is a property of the *distributed* apply path
+    # (one record call per worker/site aggregate), so continuity is
+    # judged against the uninterrupted distributed run, not ``ref``.
+    if dist_epoch is not None and dist.message_log.epoch != dist_epoch:
+        raise AssertionError(
+            "recovered/durable runtime diverged from the uninterrupted "
+            f"run's sync epoch: {dist.message_log.epoch} != {dist_epoch}"
+        )
+
+
+def benchmark_recovery(
+    network="alarm",
+    *,
+    algorithm: str = "nonuniform",
+    eps: float = 0.1,
+    n_sites: int = 4,
+    procs: int = 2,
+    n_events: int = 2_000,
+    chunk: int = 200,
+    checkpoint_rounds: int = 2,
+    crash_round: int | None = None,
+    counter_backend: str = "hyz",
+    seed: int = 0,
+    transports=("queue", "tcp"),
+    wal_dir=None,
+) -> dict:
+    """Measure WAL steady-state overhead and crash-recovery fidelity.
+
+    ``crash_round`` defaults to two thirds through the stream's rounds
+    (so the last committed checkpoint is strictly older and the WAL has
+    rounds to replay).  ``wal_dir`` keeps the recovery directories for
+    inspection; by default they live in a temp dir.  The crashed child
+    coordinators run :func:`~repro.dist.recovery.run_crashing_coordinator`
+    in spawn-started processes, exactly like the chaos tests.
+    """
+    check_positive_int(n_events, "n_events")
+    check_positive_int(chunk, "chunk")
+    check_positive_int(checkpoint_rounds, "checkpoint_rounds")
+    net = network_by_name(network) if isinstance(network, str) else network
+    rounds = (n_events + chunk - 1) // chunk
+    if crash_round is None:
+        crash_round = max(2, (2 * rounds) // 3)
+    if not 1 <= crash_round <= rounds:
+        raise ExecutionError(
+            f"crash_round {crash_round} outside the stream's "
+            f"{rounds} rounds"
+        )
+    spec = EstimatorSpec(
+        network=net, algorithm=algorithm, eps=eps, n_sites=n_sites,
+        seed=seed + 1, counter_backend=counter_backend,
+    )
+    batches = recovery_stream(net, n_events=n_events, chunk=chunk, seed=seed)
+    ref = MonitoringSession(spec)
+    _feed(ref, batches)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(wal_dir) if wal_dir is not None else Path(tmp)
+        base.mkdir(parents=True, exist_ok=True)
+
+        # ------------------------------------------------------------
+        # 1. Steady-state WAL overhead (queue transport, worst fsync)
+        # ------------------------------------------------------------
+        with DistributedSession(spec, procs=procs) as plain:
+            plain_wall = _feed(plain, batches)
+            _conformance(ref, plain)
+            dist_epoch = plain.message_log.epoch
+        with DistributedSession(
+            spec, procs=procs, wal_dir=str(base / "overhead"),
+            wal_fsync="always", checkpoint_rounds=checkpoint_rounds,
+        ) as durable:
+            durable_wall = _feed(durable, batches)
+            _conformance(ref, durable, dist_epoch=dist_epoch)
+            wal = durable.durability_stats()
+        overhead = {
+            "conformant": True,
+            "rounds": rounds,
+            "checkpoint_rounds": checkpoint_rounds,
+            "fsync_policy": wal["fsync_policy"],
+            "wal_records": wal["wal_records"],
+            "wal_bytes": wal["wal_bytes"],
+            "checkpoints": wal["checkpoints"],
+            "plain": {"wall_seconds": plain_wall},
+            "durable": {"wall_seconds": durable_wall},
+            "wal_overhead_pct": (
+                (durable_wall - plain_wall) / plain_wall * 100.0
+            ),
+        }
+
+        # ------------------------------------------------------------
+        # 2. Kill the coordinator, recover, finish, compare
+        # ------------------------------------------------------------
+        ctx = multiprocessing.get_context(START_METHOD)
+        results = []
+        for transport in transports:
+            directory = base / f"crash-{transport}"
+            payload = {
+                "spec": spec.to_dict(),
+                "procs": procs,
+                "transport": transport,
+                "dir": str(directory),
+                "fsync": "always",
+                "checkpoint_rounds": checkpoint_rounds,
+                # post-append is the worst point: the round is durable
+                # but was never applied, so recovery must replay it.
+                "crash": {"seq": crash_round, "point": "post-append"},
+                "stream": {"seed": seed, "n_events": n_events,
+                           "chunk": chunk},
+            }
+            child = ctx.Process(
+                target=run_crashing_coordinator, args=(payload,)
+            )
+            child.start()
+            child.join(timeout=300)
+            if child.exitcode != FAULT_EXIT_CODE:
+                raise AssertionError(
+                    f"crash child on {transport} exited "
+                    f"{child.exitcode}, expected {FAULT_EXIT_CODE}"
+                )
+            t0 = time.perf_counter()
+            recovered = DistributedSession(
+                recover_from=str(directory), procs=procs,
+                transport=transport,
+            )
+            recovery_seconds = time.perf_counter() - t0
+            info = recovered.recovery_info
+            with recovered:
+                resume_at = recovered.inner.events_seen // chunk
+                _feed(recovered, batches[resume_at:])
+                _conformance(ref, recovered, dist_epoch=dist_epoch)
+                wal = recovered.durability_stats()
+            results.append({
+                "transport": transport,
+                "conformant": True,
+                "crash_round": crash_round,
+                "replayed_rounds": info["replayed_rounds"],
+                "checkpoint_seq": info["checkpoint_seq"],
+                "incarnation": info["incarnation"],
+                "resumed_rounds": rounds - resume_at,
+                "wal_records": wal["wal_records"],
+                "checkpoints": wal["checkpoints"],
+                "recovery_seconds": recovery_seconds,
+            })
+
+    return {
+        "benchmark": "coordinator-recovery",
+        "network": net.name,
+        "n_variables": net.n_variables,
+        "algorithm": algorithm,
+        "eps": eps,
+        "counter_backend": counter_backend,
+        "n_sites": n_sites,
+        "procs": procs,
+        "n_events": n_events,
+        "chunk": chunk,
+        "seed": seed,
+        "transports": list(transports),
+        "overhead": overhead,
+        "results": results,
+    }

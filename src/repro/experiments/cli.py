@@ -35,6 +35,11 @@ One subcommand per figure family of Zhang, Tirthapura & Cormode (ICDE 2018):
   staleness-bounded decision cache.  Bit-identity of every served
   answer to the live session is asserted before timing.  Produces the
   committed ``benchmarks/BENCH_query_*.json`` trajectory.
+- ``bench-recovery`` — coordinator durability: write-ahead-log overhead
+  at steady state plus a kill/recover cycle per transport, with the
+  recovered session asserted byte-identical to an uninterrupted
+  reference before any timing is reported.  Produces the committed
+  ``benchmarks/BENCH_recovery_*.json`` trajectory.
 
 Each subcommand prints an aligned summary table to stderr and writes a
 ``BENCH_*.json``-style document to ``--out`` (stdout by default).
@@ -79,6 +84,7 @@ from repro.experiments.bench import (
 )
 from repro.experiments.bench_dist import benchmark_distributed_runtime
 from repro.experiments.bench_query import benchmark_query_serving
+from repro.experiments.bench_recovery import benchmark_recovery
 from repro.experiments.presets import (
     classification_experiment,
     long_crossover_experiment,
@@ -149,6 +155,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="channel of --runtime distributed (default: %(default)s); "
         "'tcp' runs the repro.net socket wire over loopback with "
         "identical results (see docs/networking.md)",
+    )
+    parser.add_argument(
+        "--max-frame-mb", type=float, default=None,
+        help="per-frame payload ceiling in MiB for --transport tcp "
+        "(default: the wire's 256 MiB cap)",
+    )
+    parser.add_argument(
+        "--heartbeat-timeout", type=float, default=None,
+        help="worker-side dead-peer threshold in seconds for "
+        "--transport tcp (default: off)",
     )
     parser.add_argument(
         "--executor", default="serial", choices=executor_names(),
@@ -235,6 +251,8 @@ def _grid_command(args, *, name, eps_values=None, site_counts=None) -> int:
         runtime=args.runtime,
         sites_procs=args.sites_procs,
         transport=args.transport,
+        max_frame_mb=args.max_frame_mb,
+        heartbeat_timeout=args.heartbeat_timeout,
         resume_dir=args.resume_dir,
         stop_after=args.stop_after,
         executor=args.executor,
@@ -544,6 +562,45 @@ def main(argv=None) -> int:
     p_bench_hyz.add_argument("--repeats", type=int, default=3)
     p_bench_hyz.add_argument("--seed", type=int, default=0)
     p_bench_hyz.add_argument("--out", default=None)
+
+    p_bench_rec = sub.add_parser(
+        "bench-recovery",
+        help="WAL steady-state overhead plus coordinator kill/recover "
+        "cycles per transport, conformance asserted before timing",
+    )
+    p_bench_rec.add_argument("--network", default="alarm")
+    p_bench_rec.add_argument("--algorithm", default="nonuniform")
+    p_bench_rec.add_argument("--eps", type=float, default=0.1)
+    p_bench_rec.add_argument("--sites", type=int, default=4)
+    p_bench_rec.add_argument("--procs", type=int, default=2)
+    p_bench_rec.add_argument("--events", type=int, default=2_000)
+    p_bench_rec.add_argument(
+        "--chunk", type=int, default=200,
+        help="events per coordinator round (default: %(default)s)",
+    )
+    p_bench_rec.add_argument(
+        "--checkpoint-rounds", type=int, default=2,
+        help="rounds between WAL-truncating checkpoints "
+        "(default: %(default)s)",
+    )
+    p_bench_rec.add_argument(
+        "--crash-round", type=int, default=None,
+        help="round whose post-append point kills the child coordinator "
+        "(default: two thirds through the stream)",
+    )
+    p_bench_rec.add_argument("--counter-backend", default="hyz",
+                             choices=["hyz", "deterministic", "exact"])
+    p_bench_rec.add_argument("--seed", type=int, default=0)
+    p_bench_rec.add_argument(
+        "--transports", type=_csv, default=["queue", "tcp"],
+        help="comma-separated transports to crash/recover "
+        "(default: %(default)s)",
+    )
+    p_bench_rec.add_argument(
+        "--wal-dir", default=None,
+        help="keep recovery directories here instead of a temp dir",
+    )
+    p_bench_rec.add_argument("--out", default=None)
 
     args = parser.parse_args(argv)
 
@@ -894,6 +951,45 @@ def main(argv=None) -> int:
                 title=f"HYZ engine microbenchmark "
                       f"(k={args.sites}, m={args.events}, "
                       f"algorithm={args.algorithm})",
+            ),
+        )
+        return 0
+    if args.command == "bench-recovery":
+        document = benchmark_recovery(
+            args.network,
+            algorithm=args.algorithm,
+            eps=args.eps,
+            n_sites=args.sites,
+            procs=args.procs,
+            n_events=args.events,
+            chunk=args.chunk,
+            checkpoint_rounds=args.checkpoint_rounds,
+            crash_round=args.crash_round,
+            counter_backend=args.counter_backend,
+            seed=args.seed,
+            transports=args.transports,
+            wal_dir=args.wal_dir,
+        )
+        overhead = document["overhead"]
+        rows = [
+            ["(wal overhead)", "-", overhead["wal_records"],
+             overhead["wal_bytes"], overhead["checkpoints"], "-",
+             f"{overhead['wal_overhead_pct']:.1f}%"],
+        ] + [
+            [r["transport"], r["crash_round"], r["wal_records"],
+             "-", r["checkpoints"], r["replayed_rounds"],
+             f"{r['recovery_seconds'] * 1e3:.1f}ms"]
+            for r in document["results"]
+        ]
+        _emit(
+            document, args.out,
+            summary=format_table(
+                ["run", "crash@", "wal-records", "wal-bytes",
+                 "checkpoints", "replayed", "cost"],
+                rows,
+                title=f"coordinator durability ({document['network']}, "
+                      f"m={args.events}, chunk={args.chunk}, "
+                      f"fsync={overhead['fsync_policy']}, conformant=yes)",
             ),
         )
         return 0

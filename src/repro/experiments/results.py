@@ -38,6 +38,11 @@ _TIMING_KEYS = frozenset({
     # the ratio is stripped alongside the rates it normalizes).
     "queries_per_second",
     "cache_hit_rate",
+    # Coordinator durability timing (bench-recovery): wall-clock cost of
+    # a crash/recover cycle and the WAL's relative ingest overhead (the
+    # WAL byte/record counts themselves are deterministic and pinned).
+    "recovery_seconds",
+    "wal_overhead_pct",
 })
 
 

@@ -204,6 +204,8 @@ class ExperimentRunner:
         runtime: str = "inprocess",
         sites_procs: int | None = None,
         transport: str = "queue",
+        max_frame_mb: float | None = None,
+        heartbeat_timeout: float | None = None,
     ) -> RunResult | None:
         """Train one session over one simulated stream.
 
@@ -248,6 +250,12 @@ class ExperimentRunner:
                 f"transport {transport!r} requires runtime='distributed' "
                 "(the in-process runtime has no wire)"
             )
+        for name, value in (("max_frame_mb", max_frame_mb),
+                            ("heartbeat_timeout", heartbeat_timeout)):
+            if value is not None and transport != "tcp":
+                raise EvaluationError(
+                    f"{name} only applies to the tcp transport"
+                )
         if stop_after is not None and snapshot_path is None:
             raise EvaluationError(
                 "stop_after without snapshot_path would discard the "
@@ -293,6 +301,12 @@ class ExperimentRunner:
 
             session_cls = DistributedSession
             session_kwargs = {"procs": sites_procs, "transport": transport}
+            if max_frame_mb is not None:
+                session_kwargs["max_frame_bytes"] = int(
+                    float(max_frame_mb) * 1024 * 1024
+                )
+            if heartbeat_timeout is not None:
+                session_kwargs["heartbeat_timeout"] = float(heartbeat_timeout)
         else:
             session_cls = MonitoringSession
             session_kwargs = {}
@@ -449,6 +463,8 @@ class ExperimentRunner:
         runtime: str = "inprocess",
         sites_procs: int | None = None,
         transport: str = "queue",
+        max_frame_mb: float | None = None,
+        heartbeat_timeout: float | None = None,
     ) -> list[RunTask]:
         """Expand the cartesian grid into a task graph.
 
@@ -497,6 +513,8 @@ class ExperimentRunner:
                                 runtime=runtime,
                                 sites_procs=sites_procs,
                                 transport=transport,
+                                max_frame_mb=max_frame_mb,
+                                heartbeat_timeout=heartbeat_timeout,
                             )
                         )
         return tasks
@@ -518,6 +536,8 @@ class ExperimentRunner:
         runtime: str = "inprocess",
         sites_procs: int | None = None,
         transport: str = "queue",
+        max_frame_mb: float | None = None,
+        heartbeat_timeout: float | None = None,
         resume_dir=None,
         stop_after: int | None = None,
         executor="serial",
@@ -561,6 +581,8 @@ class ExperimentRunner:
             runtime=runtime,
             sites_procs=sites_procs,
             transport=transport,
+            max_frame_mb=max_frame_mb,
+            heartbeat_timeout=heartbeat_timeout,
         )
         outcome = make_executor(
             executor, jobs=jobs, segment_events=segment_events

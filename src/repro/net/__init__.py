@@ -41,6 +41,8 @@ from repro.net.wire import (
     WireError,
     decode_payload,
     encode_frame,
+    hello_mac,
+    make_hello,
 )
 
 __all__ = [
@@ -57,6 +59,8 @@ __all__ = [
     "Hello",
     "HelloAck",
     "Ping",
+    "hello_mac",
+    "make_hello",
     "WireError",
     "FrameTooLarge",
     "ChecksumError",

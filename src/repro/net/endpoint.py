@@ -11,10 +11,15 @@ the coordinator event loop already drives.
 
 **Handshake.**  A dialer's first frame must be a
 :class:`~repro.net.wire.Hello` carrying worker id, respawn incarnation,
-channel name (``"inbox"``/``"reports"``), and the session token.  The
-listener accepts only the *expected* incarnation of a registered
-channel: a SIGKILLed worker's lingering socket (or a delayed reconnect
-from a dead incarnation) is refused with a
+channel name (``"inbox"``/``"reports"``), the coordinator's restart
+incarnation, and an HMAC-SHA256 over all of them keyed by the session
+token (the token never crosses the wire; see
+:func:`~repro.net.wire.hello_mac`).  The listener verifies the MAC with
+``hmac.compare_digest`` and accepts only the *expected* worker
+incarnation of a registered channel under its *own* coordinator
+incarnation: a SIGKILLed worker's lingering socket, a delayed reconnect
+from a dead incarnation, a forged or replayed Hello, or a worker from a
+pre-recovery coordinator life is refused with a
 :class:`~repro.net.wire.HelloAck` and closed, so it can never wedge or
 impersonate the replacement — the per-incarnation-queue guarantee of
 the queue runtime, enforced at the socket layer.
@@ -40,6 +45,7 @@ keys it understands
 
 from __future__ import annotations
 
+import hmac
 import secrets
 import selectors
 import socket
@@ -55,6 +61,7 @@ from repro.net.wire import (
     Ping,
     WireError,
     encode_frame,
+    hello_mac,
 )
 
 
@@ -77,10 +84,24 @@ class Listener:
     ----------
     host / port:
         Bind address; port 0 (the default) picks an ephemeral port —
-        read it back from :attr:`address`.
+        read it back from :attr:`address`.  ``host="0.0.0.0"`` binds
+        every interface (the cross-host deployment knob).
+    advertise:
+        The hostname/IP workers should *dial*, when it differs from the
+        bind address — binding ``0.0.0.0`` yields an undialable
+        wildcard, and a NAT'd or multi-homed coordinator may be
+        reachable under a different name than it binds.  :attr:`address`
+        carries the advertised host; :attr:`bound_address` the socket's
+        actual one.
     token:
-        Session secret carried by every :class:`~repro.net.wire.Hello`;
-        generated when omitted.
+        Session secret keying every :class:`~repro.net.wire.Hello`'s
+        HMAC (the token itself never crosses the wire); generated when
+        omitted.
+    incarnation:
+        This coordinator's restart generation.  Hellos carrying any
+        other ``coordinator`` value are refused — a worker spawned by a
+        dead coordinator life cannot attach to its recovered successor
+        (see ``docs/recovery.md``).
     poll_interval:
         Default liveness-poll cadence handed to channels.
     sockbuf:
@@ -96,13 +117,16 @@ class Listener:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        advertise: str | None = None,
         token: str | None = None,
+        incarnation: int = 0,
         poll_interval: float | None = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         sockbuf: int | None = None,
         channel_faults: dict | None = None,
     ) -> None:
         self.token = token if token is not None else secrets.token_hex(16)
+        self.incarnation = int(incarnation)
         self.poll_interval = (
             POLL_INTERVAL if poll_interval is None else float(poll_interval)
         )
@@ -120,8 +144,16 @@ class Listener:
         self._sock.bind((host, port))
         self._sock.listen(64)
         self._sock.setblocking(False)
-        #: The bound ``(host, port)`` workers dial.
-        self.address = self._sock.getsockname()
+        #: The socket's actual ``(host, port)``.
+        self.bound_address = self._sock.getsockname()
+        #: The ``(host, port)`` workers dial: the advertised host (when
+        #: given) with the bound port — binding ``0.0.0.0`` needs a
+        #: dialable name, and a NAT'd coordinator may advertise one that
+        #: differs from any local interface.
+        self.address = (
+            (str(advertise), self.bound_address[1])
+            if advertise is not None else self.bound_address
+        )
         self._selector = selectors.DefaultSelector()
         self._selector.register(self._sock, selectors.EVENT_READ, None)
         self._connections: set[_Connection] = set()
@@ -277,8 +309,17 @@ class Listener:
             return
         key = (frame.worker, frame.channel)
         chan = self._channels.get(key)
-        if frame.token != self.token:
-            reason = "bad session token"
+        expected_mac = hello_mac(
+            self.token, frame.worker, frame.incarnation, frame.channel,
+            frame.coordinator,
+        )
+        if not hmac.compare_digest(expected_mac, frame.mac):
+            reason = "bad handshake MAC (session token mismatch)"
+        elif frame.coordinator != self.incarnation:
+            reason = (
+                f"stale coordinator incarnation {frame.coordinator} "
+                f"(this coordinator is incarnation {self.incarnation})"
+            )
         elif chan is None or chan.closed:
             reason = f"unknown channel {key!r}"
         elif frame.incarnation != self._expected.get(frame.worker):

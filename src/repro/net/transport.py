@@ -56,11 +56,11 @@ from repro.dist.transport import POLL_INTERVAL, TransportClosed, create_once
 from repro.net.wire import (
     MAX_FRAME_BYTES,
     FrameDecoder,
-    Hello,
     HelloAck,
     Ping,
     WireError,
     encode_frame,
+    make_hello,
 )
 
 #: Seconds of send silence before a heartbeat Ping is queued.
@@ -175,8 +175,11 @@ class SocketTransport:
     ----------
     address:
         The coordinator listener's ``(host, port)``.
-    worker / channel / incarnation / token:
-        The handshake identity (see :class:`~repro.net.wire.Hello`).
+    worker / channel / incarnation / token / coordinator:
+        The handshake identity (see :class:`~repro.net.wire.Hello`):
+        the token keys the Hello's HMAC (it never crosses the wire) and
+        ``coordinator`` is the listener's restart generation this
+        transport was spawned under.
     fault:
         Declarative fault spec (module docstring).
     poll_interval:
@@ -197,6 +200,7 @@ class SocketTransport:
         channel: str,
         incarnation: int = 0,
         token: str = "",
+        coordinator: int = 0,
         name: str | None = None,
         fault: dict | None = None,
         poll_interval: float | None = None,
@@ -211,6 +215,7 @@ class SocketTransport:
         self.channel = str(channel)
         self.incarnation = int(incarnation)
         self.token = str(token)
+        self.coordinator = int(coordinator)
         self.name = name or f"worker-{worker}.{channel}"
         self.fault = dict(fault) if fault else {}
         self.poll_interval = (
@@ -273,7 +278,10 @@ class SocketTransport:
             apply_sockopts(sock, self.fault)
             sock.settimeout(self.handshake_timeout)
             hello = encode_frame(
-                Hello(self.worker, self.incarnation, self.channel, self.token)
+                make_hello(
+                    self.token, self.worker, self.incarnation, self.channel,
+                    self.coordinator,
+                )
             )
             sock.sendall(b"".join(hello))
             decoder = FrameDecoder(max_bytes=self.max_frame_bytes)

@@ -39,6 +39,8 @@ dropping the connection.
 
 from __future__ import annotations
 
+import hashlib
+import hmac as _hmac
 import json
 import struct
 import zlib
@@ -66,6 +68,8 @@ __all__ = [
     "Hello",
     "HelloAck",
     "Ping",
+    "hello_mac",
+    "make_hello",
     "encode_frame",
     "decode_payload",
     "FrameDecoder",
@@ -106,24 +110,59 @@ class Hello:
     ``channel`` names the logical direction (``"inbox"`` or
     ``"reports"``), ``incarnation`` the worker respawn generation — the
     listener rejects stale incarnations so a SIGKILLed worker's lingering
-    socket can never impersonate its replacement — and ``token`` the
-    per-session secret that keeps unrelated coordinators apart.
+    socket can never impersonate its replacement — and ``coordinator``
+    the coordinator's own restart generation (bumped by crash recovery,
+    see ``docs/recovery.md``), so a worker spawned by a dead coordinator
+    life is refused by its successor.
+
+    The per-session secret token never crosses the wire: ``mac`` is an
+    HMAC-SHA256 over the identity fields keyed by the token (see
+    :func:`hello_mac`), which both authenticates the dialer and binds
+    the claimed identity — an observer of one handshake cannot replay
+    it as a different worker/channel/incarnation.
     """
 
-    __slots__ = ("worker", "incarnation", "channel", "token")
+    __slots__ = ("worker", "incarnation", "channel", "mac", "coordinator")
 
     def __init__(self, worker: int, incarnation: int, channel: str,
-                 token: str = "") -> None:
+                 mac: str = "", coordinator: int = 0) -> None:
         self.worker = int(worker)
         self.incarnation = int(incarnation)
         self.channel = str(channel)
-        self.token = str(token)
+        self.mac = str(mac)
+        self.coordinator = int(coordinator)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Hello(worker={self.worker}, incarnation={self.incarnation}, "
-            f"channel={self.channel!r})"
+            f"channel={self.channel!r}, coordinator={self.coordinator})"
         )
+
+
+def hello_mac(token: str, worker: int, incarnation: int, channel: str,
+              coordinator: int = 0) -> str:
+    """The HMAC-SHA256 a valid :class:`Hello` must carry.
+
+    Keyed by the session token, over the identity fields the listener
+    authorizes — so the token itself stays off the wire and a captured
+    Hello cannot be replayed under a different identity.
+    """
+    message = (
+        f"{int(worker)}|{int(incarnation)}|{str(channel)}|{int(coordinator)}"
+    ).encode("utf-8")
+    return _hmac.new(
+        str(token).encode("utf-8"), message, hashlib.sha256
+    ).hexdigest()
+
+
+def make_hello(token: str, worker: int, incarnation: int, channel: str,
+               coordinator: int = 0) -> Hello:
+    """A correctly MAC-signed :class:`Hello` for the given identity."""
+    return Hello(
+        worker, incarnation, channel,
+        mac=hello_mac(token, worker, incarnation, channel, coordinator),
+        coordinator=coordinator,
+    )
 
 
 class HelloAck:
@@ -206,14 +245,15 @@ def _encode_hello(frame: Hello):
         "worker": frame.worker,
         "incarnation": frame.incarnation,
         "channel": frame.channel,
-        "token": frame.token,
+        "mac": frame.mac,
+        "coordinator": frame.coordinator,
     }, []
 
 
 def _decode_hello(meta, arrays):
     return Hello(
         meta["worker"], meta["incarnation"], meta["channel"],
-        meta.get("token", ""),
+        meta.get("mac", ""), meta.get("coordinator", 0),
     )
 
 

@@ -64,6 +64,11 @@ class ModelSnapshot:
         The :attr:`~repro.monitoring.channel.MessageLog.epoch` the
         snapshot was built at; valid for as long as the log still
         reports it (estimates cannot move without a recorded message).
+        The epoch survives coordinator crash recovery: WAL replay
+        (:mod:`repro.dist.recovery`) re-records every replayed round's
+        messages through the same calls the live apply path makes, so a
+        snapshot built over a recovered session carries the same epoch
+        an uninterrupted run would have stamped (``docs/recovery.md``).
     version:
         Monotonic build counter of the owning server (epochs can skip —
         many syncs may land between two reads — versions never do).

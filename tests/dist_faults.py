@@ -12,11 +12,14 @@ from __future__ import annotations
 
 import os
 
+from repro.dist.recovery import CRASH_POINTS
 from repro.dist.transport import FAULT_EXIT_CODE, create_once
 
 __all__ = [
+    "CRASH_POINTS",
     "FAULT_EXIT_CODE",
     "DieOnceMarker",
+    "coordinator_crash",
     "kill_after",
     "delay_send",
     "delay_recv",
@@ -52,6 +55,23 @@ class DieOnceMarker:
         """Disarm and re-arm: the next observer dies again."""
         if self.fired:
             os.remove(self.path)
+
+
+def coordinator_crash(seq: int, point: str) -> dict:
+    """Kill the *coordinator* at a named durability point of round ``seq``.
+
+    ``point`` is one of :data:`~repro.dist.recovery.CRASH_POINTS`:
+    ``pre-append`` (round lost, recovery replays nothing for it),
+    ``post-append`` (round durable but unapplied — recovery must replay
+    it), or ``mid-checkpoint`` (torn snapshot bundle left behind — the
+    stale-``meta.json`` discipline must ignore it).  The spec is consumed
+    by :class:`~repro.dist.recovery.DurableCoordinator` via the
+    ``wal_crash`` session kwarg and fires ``os._exit(FAULT_EXIT_CODE)``.
+    """
+    if point not in CRASH_POINTS:
+        raise ValueError(f"unknown crash point {point!r}; "
+                         f"expected one of {CRASH_POINTS}")
+    return {"seq": int(seq), "point": str(point)}
 
 
 def kill_after(sends: int, marker: DieOnceMarker | str | None = None) -> dict:

@@ -64,6 +64,7 @@ from repro.net import (
     WireError,
     decode_payload,
     encode_frame,
+    make_hello,
 )
 from test_dist import assert_conformant, batches_for, run_pair, spec_for
 
@@ -96,7 +97,7 @@ def sample_frames():
         ThresholdUpdate(3, 2),
         RoundSync(1, 4),
         Shutdown(),
-        Hello(1, 2, "reports", "deadbeef"),
+        Hello(1, 2, "reports", "deadbeef", coordinator=3),
         HelloAck(False, "stale incarnation"),
         Ping(),
     ]
@@ -121,8 +122,8 @@ def assert_frames_equal(a, b):
     elif isinstance(a, RoundSync):
         assert (a.worker, a.acked) == (b.worker, b.acked)
     elif isinstance(a, Hello):
-        assert (a.worker, a.incarnation, a.channel, a.token) == (
-            b.worker, b.incarnation, b.channel, b.token
+        assert (a.worker, a.incarnation, a.channel, a.mac, a.coordinator) == (
+            b.worker, b.incarnation, b.channel, b.mac, b.coordinator
         )
     elif isinstance(a, HelloAck):
         assert (a.ok, a.reason) == (b.ok, b.reason)
@@ -359,6 +360,14 @@ def listener():
     lst.close()
 
 
+@pytest.fixture()
+def listener_gen2():
+    """A listener acting as coordinator incarnation 2 (post-recovery)."""
+    lst = Listener(poll_interval=0.01, incarnation=2)
+    yield lst
+    lst.close()
+
+
 def transport_for(listener, channel="reports", *, worker=0, incarnation=0,
                   **kwargs):
     kwargs.setdefault("poll_interval", 0.01)
@@ -372,31 +381,82 @@ def transport_for(listener, channel="reports", *, worker=0, incarnation=0,
 class TestHandshake:
     def test_accepts_expected_incarnation(self, listener):
         chan = listener.open_channel(0, "reports", 1)
-        sock, ack = raw_dial(listener, Hello(0, 1, "reports", listener.token))
+        sock, ack = raw_dial(
+            listener, make_hello(listener.token, 0, 1, "reports")
+        )
         assert ack.ok
         assert chan.connected
         assert listener.stats()["accepted"] == 1
         sock.close()
 
     def test_refuses_bad_token(self, listener):
+        # A dialer with the wrong session token produces a wrong MAC.
         listener.open_channel(0, "reports", 0)
-        sock, ack = raw_dial(listener, Hello(0, 0, "reports", "wrong"))
+        sock, ack = raw_dial(listener, make_hello("wrong", 0, 0, "reports"))
         assert not ack.ok and "token" in ack.reason
         assert listener.stats()["refused"] == 1
         sock.close()
+
+    def test_refuses_tampered_identity(self, listener):
+        # The MAC binds the identity fields: a captured Hello replayed
+        # under a different worker/channel fails verification even
+        # though the MAC itself was produced with the right token.
+        listener.open_channel(0, "reports", 0)
+        listener.open_channel(1, "reports", 0)
+        hello = make_hello(listener.token, 0, 0, "reports")
+        hello.worker = 1
+        sock, ack = raw_dial(listener, hello)
+        assert not ack.ok and "MAC" in ack.reason
+        sock.close()
+
+    def test_refuses_stale_coordinator_incarnation(self, listener_gen2):
+        # The recovery guard: a worker spawned by a crashed coordinator
+        # life dials the successor and is refused (docs/recovery.md).
+        listener_gen2.open_channel(0, "reports", 0)
+        sock, ack = raw_dial(
+            listener_gen2,
+            make_hello(listener_gen2.token, 0, 0, "reports", coordinator=1),
+        )
+        assert not ack.ok and "stale coordinator incarnation" in ack.reason
+        sock2, ack2 = raw_dial(
+            listener_gen2,
+            make_hello(listener_gen2.token, 0, 0, "reports", coordinator=2),
+        )
+        assert ack2.ok
+        sock.close()
+        sock2.close()
 
     def test_refuses_stale_incarnation(self, listener):
         # The SIGKILL guard: after a respawn bumps the expected
         # incarnation, the dead worker's lingering dial is refused.
         listener.open_channel(0, "reports", 2)
-        sock, ack = raw_dial(listener, Hello(0, 1, "reports", listener.token))
+        sock, ack = raw_dial(
+            listener, make_hello(listener.token, 0, 1, "reports")
+        )
         assert not ack.ok and "stale incarnation" in ack.reason
         sock.close()
 
     def test_refuses_unknown_channel(self, listener):
-        sock, ack = raw_dial(listener, Hello(5, 0, "reports", listener.token))
+        sock, ack = raw_dial(
+            listener, make_hello(listener.token, 5, 0, "reports")
+        )
         assert not ack.ok and "unknown channel" in ack.reason
         sock.close()
+
+    def test_bad_token_raises_typed_error_not_hang(self, listener):
+        # End-to-end through SocketTransport: a refused MAC surfaces as
+        # HandshakeRefused (a typed TransportClosed) instead of a hang.
+        listener.open_channel(0, "reports", 0)
+        transport = SocketTransport(
+            listener.address, worker=0, channel="reports",
+            incarnation=0, token="not-the-session-token",
+            poll_interval=0.01, connect_timeout=5.0,
+        )
+        worker = _Worker(lambda: transport.recv(timeout=5.0))
+        pump_until(listener, lambda: not worker.is_alive())
+        with pytest.raises(HandshakeRefused, match="token"):
+            worker.finish()
+        transport.close()
 
     def test_transport_raises_handshake_refused(self, listener):
         listener.open_channel(0, "reports", 3)
@@ -587,7 +647,7 @@ class TestSocketEndpoints:
         # The connection is dropped, nothing is routed, no error leaks,
         # and the listener keeps serving new dials.
         chan = listener.open_channel(0, "reports", 0)
-        sock, ack = raw_dial(listener, Hello(0, 0, "reports", listener.token))
+        sock, ack = raw_dial(listener, make_hello(listener.token, 0, 0, "reports"))
         assert ack.ok
         blob = encoded(RoundSync(0, 7))
         sock.sendall(blob[:len(blob) - 4])
@@ -597,7 +657,7 @@ class TestSocketEndpoints:
         assert listener.stats()["wire_errors"] == 0
         assert listener.take_disrupted() == {0}
         # Still live: a fresh dial handshakes and delivers.
-        sock2, ack2 = raw_dial(listener, Hello(0, 0, "reports", listener.token))
+        sock2, ack2 = raw_dial(listener, make_hello(listener.token, 0, 0, "reports"))
         assert ack2.ok
         sock2.sendall(blob)
         pump_until(listener, lambda: chan._inbound)
@@ -606,7 +666,7 @@ class TestSocketEndpoints:
 
     def test_corrupt_stream_drops_connection_not_listener(self, listener):
         chan = listener.open_channel(0, "reports", 0)
-        sock, ack = raw_dial(listener, Hello(0, 0, "reports", listener.token))
+        sock, ack = raw_dial(listener, make_hello(listener.token, 0, 0, "reports"))
         assert ack.ok
         blob = bytearray(encoded(RoundSync(0, 1)))
         blob[-1] ^= 0xFF
@@ -615,7 +675,7 @@ class TestSocketEndpoints:
         assert listener.stats()["wire_errors"] == 1
         assert chan._inbound == []
         sock.close()
-        sock2, ack2 = raw_dial(listener, Hello(0, 0, "reports", listener.token))
+        sock2, ack2 = raw_dial(listener, make_hello(listener.token, 0, 0, "reports"))
         assert ack2.ok
         sock2.close()
 
@@ -672,14 +732,14 @@ class TestSocketEndpoints:
 
     def test_respawn_closes_old_channel_and_refuses_old_dials(self, listener):
         first = listener.open_channel(0, "reports", 0)
-        sock, ack = raw_dial(listener, Hello(0, 0, "reports", listener.token))
+        sock, ack = raw_dial(listener, make_hello(listener.token, 0, 0, "reports"))
         assert ack.ok
         second = listener.open_channel(0, "reports", 1)
         assert first.closed and not second.closed
         with pytest.raises(TransportClosed, match="closed"):
             first.recv(timeout=0.01)
         sock.close()
-        sock2, ack2 = raw_dial(listener, Hello(0, 0, "reports", listener.token))
+        sock2, ack2 = raw_dial(listener, make_hello(listener.token, 0, 0, "reports"))
         assert not ack2.ok and "stale" in ack2.reason
         sock2.close()
 
